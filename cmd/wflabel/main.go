@@ -1,0 +1,211 @@
+// Command wflabel derives a run of one of the bundled workflows, labels its
+// data items with the view-adaptive scheme, and answers reachability queries
+// over a chosen view — the end-to-end pipeline of the paper from the command
+// line.
+//
+// Usage:
+//
+//	wflabel -workload paper -size 100 -view security -query 7,10
+//	wflabel -workload bioaid -size 2000 -view black-box:8 -labels
+//	wflabel -workload paper -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "paper", "workflow to run: paper, bioaid, figure10, synthetic")
+	specFile := flag.String("spec", "", "run a specification from a JSON file instead of a bundled workload")
+	size := flag.Int("size", 100, "target run size (number of data items)")
+	seed := flag.Int64("seed", 1, "random seed for the derivation")
+	viewSpec := flag.String("view", "default", "view to query: default, security, abstraction (paper workload), or white-box:N / grey-box:N / black-box:N for a random view with N expandable composites")
+	variantName := flag.String("variant", "query-efficient", "view label variant: space-efficient, default, query-efficient")
+	query := flag.String("query", "", "comma-separated pair of data item IDs d1,d2: ask whether d2 depends on d1")
+	showLabels := flag.Bool("labels", false, "print every data label")
+	stats := flag.Bool("stats", false, "print label length statistics")
+	flag.Parse()
+
+	spec, err := selectWorkload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err = workflow.ReadSpecification(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("reading %s: %v", *specFile, err)
+		}
+	}
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: *size, Rand: rand.New(rand.NewSource(*seed))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived and labeled a run with %d data items (%d module instances, %d derivation steps)\n",
+		r.Size(), len(r.Instances), len(r.Steps))
+
+	v, err := selectView(spec, *viewSpec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variant, err := selectVariant(*variantName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vl, err := scheme.LabelView(v, variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view %q: expandable composites %v, label %d bytes (%s variant)\n",
+		v.Name, v.ExpandableModules(), (vl.SizeBits()+7)/8, variant)
+
+	if *showLabels {
+		fmt.Println("\ndata labels:")
+		for _, item := range r.Items {
+			l, _ := labeler.Label(item.ID)
+			visible := ""
+			if !vl.Visible(l) {
+				visible = "   [hidden in this view]"
+			}
+			fmt.Printf("  d%-4d %s%s\n", item.ID, l, visible)
+		}
+	}
+
+	if *stats {
+		codec := scheme.Codec()
+		total, max := 0, 0
+		for _, item := range r.Items {
+			l, _ := labeler.Label(item.ID)
+			bits := codec.SizeBits(l)
+			total += bits
+			if bits > max {
+				max = bits
+			}
+		}
+		fmt.Printf("\nlabel length: avg %.1f bits, max %d bits over %d items\n",
+			float64(total)/float64(r.Size()), max, r.Size())
+	}
+
+	if *query != "" {
+		parts := strings.Split(*query, ",")
+		if len(parts) != 2 {
+			log.Fatalf("-query wants two comma-separated data item IDs, got %q", *query)
+		}
+		d1, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		d2, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			log.Fatalf("-query wants numeric data item IDs, got %q", *query)
+		}
+		l1, ok1 := labeler.Label(d1)
+		l2, ok2 := labeler.Label(d2)
+		if !ok1 || !ok2 {
+			log.Fatalf("the run has no data item %d or %d (items are numbered 1..%d)", d1, d2, r.Size())
+		}
+		ans, err := vl.DependsOn(l1, l2)
+		if err != nil {
+			log.Fatalf("query failed: %v", err)
+		}
+		fmt.Printf("\ndoes d%d depend on d%d under view %q?  %v\n", d2, d1, v.Name, ans)
+
+		// Cross-check against the ground-truth projection oracle.
+		proj, err := run.Project(r, v)
+		if err == nil {
+			if want, err := proj.DependsOn(d1, d2); err == nil {
+				fmt.Printf("(ground-truth graph search agrees: %v)\n", want)
+			}
+		}
+	}
+}
+
+func selectWorkload(name string) (*workflow.Specification, error) {
+	switch name {
+	case "paper":
+		return workloads.PaperExample(), nil
+	case "bioaid":
+		return workloads.BioAID(), nil
+	case "figure10":
+		return workloads.Figure10Example(), nil
+	case "synthetic":
+		return workloads.Synthetic(workloads.DefaultSyntheticParams()), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func selectView(spec *workflow.Specification, name string, seed int64) (*view.View, error) {
+	switch {
+	case name == "default":
+		return view.Default(spec), nil
+	case name == "security":
+		return workloads.PaperSecurityView(spec)
+	case name == "abstraction":
+		return workloads.PaperAbstractionView(spec)
+	default:
+		parts := strings.SplitN(name, ":", 2)
+		mode, err := parseMode(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		n := 4
+		if len(parts) == 2 {
+			n, err = strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("view %q: %v", name, err)
+			}
+		}
+		return workloads.RandomView(spec, workloads.ViewOptions{
+			Name: name, Composites: n, Mode: mode, Rand: rand.New(rand.NewSource(seed + 1000)),
+		})
+	}
+}
+
+func parseMode(s string) (workloads.DependencyMode, error) {
+	switch s {
+	case "white-box":
+		return workloads.WhiteBox, nil
+	case "grey-box":
+		return workloads.GreyBox, nil
+	case "black-box":
+		return workloads.BlackBox, nil
+	default:
+		return 0, fmt.Errorf("unknown view kind %q (want default, security, abstraction, white-box[:N], grey-box[:N] or black-box[:N])", s)
+	}
+}
+
+func selectVariant(s string) (core.Variant, error) {
+	switch s {
+	case "space-efficient":
+		return core.VariantSpaceEfficient, nil
+	case "default":
+		return core.VariantDefault, nil
+	case "query-efficient":
+		return core.VariantQueryEfficient, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q", s)
+	}
+}

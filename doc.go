@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Labeling Workflow Views
+// with Fine-Grained Dependencies" (Bao, Davidson, Milo; UPenn MS-CIS-12-11 /
+// VLDB 2012): a view-adaptive dynamic labeling scheme (FVL) for answering
+// reachability queries over views of workflow provenance graphs, together
+// with the workflow model, safety analysis, view machinery, the DRL baseline
+// it is compared against, and the full experiment harness of the paper's
+// evaluation section.
+//
+// The implementation lives under internal/; the runnable entry points are the
+// commands under cmd/ and the programs under examples/. See README.md for an
+// overview and DESIGN.md for the system inventory and experiment index.
+package repro

@@ -1,0 +1,87 @@
+// Command abstractionview demonstrates white-box abstraction views (the other
+// kind of view motivated in the paper's introduction): irrelevant workflow
+// detail is hidden inside composite modules, but the perceived input-output
+// dependencies of the composite modules are the true (induced) ones, so every
+// reachability answer over visible data agrees with the full-detail view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 80, Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	defaultView := view.Default(spec)
+	abstraction, err := workloads.PaperAbstractionView(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	white, _ := abstraction.IsWhiteBox()
+	fmt.Printf("abstraction view: expandable modules %v, white-box dependencies: %v\n",
+		abstraction.ExpandableModules(), white)
+
+	defaultLabel, err := scheme.LabelView(defaultView, core.VariantQueryEfficient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	abstractionLabel, err := scheme.LabelView(abstraction, core.VariantQueryEfficient)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How much detail does the view hide?
+	proj, err := run.Project(r, abstraction)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the run has %d data items; the abstraction view shows %d of them and %d visible module instances\n",
+		r.Size(), proj.Size(), len(proj.LeafInstances()))
+
+	// White-box views never change answers on visible data: verify it on every
+	// pair of visible items.
+	visible := proj.VisibleItems()
+	agree, queries := 0, 0
+	for _, d1 := range visible {
+		for _, d2 := range visible {
+			l1, _ := labeler.Label(d1)
+			l2, _ := labeler.Label(d2)
+			a, err := defaultLabel.DependsOn(l1, l2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := abstractionLabel.DependsOn(l1, l2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			queries++
+			if a == b {
+				agree++
+			}
+		}
+	}
+	fmt.Printf("answers over the abstraction view agree with the full-detail view on %d of %d visible pairs\n", agree, queries)
+	fmt.Println("\nAbstraction views focus attention (fewer visible items) without distorting")
+	fmt.Println("provenance: because their dependencies are white-box, the view label encodes")
+	fmt.Println("the true induced dependencies of the hidden sub-workflows.")
+}

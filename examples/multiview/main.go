@@ -1,0 +1,105 @@
+// Command multiview shows the architectural payoff of view-adaptive labeling
+// (Section 6.4 of the paper in miniature): one run of a realistically sized
+// workflow is labeled exactly once, and any number of views — added after the
+// fact — only require their own small, static view labels. The per-view
+// baseline (DRL) must instead project and relabel the run for every view.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drl"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+func main() {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One execution of the BioAID-like pipeline with a few thousand data items.
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 4000, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fvlLabelTime := time.Since(start)
+	fmt.Printf("FVL labeled the %d-item run once in %v\n\n", r.Size(), fvlLabelTime.Round(time.Millisecond))
+
+	// Five views are defined afterwards: different subsets of composite
+	// modules, different perceived dependencies. The existing data labels are
+	// reused for all of them.
+	rng := rand.New(rand.NewSource(9))
+	modes := []workloads.DependencyMode{workloads.WhiteBox, workloads.GreyBox, workloads.BlackBox, workloads.GreyBox, workloads.BlackBox}
+	sizes := []int{16, 8, 8, 4, 2}
+
+	fmt.Println("view        composites  deps       FVL view label   FVL extra cost   DRL per-view relabeling")
+	var fvlTotal, drlTotal time.Duration
+	for i := range modes {
+		name := fmt.Sprintf("view-%d", i+1)
+		v, err := workloads.RandomView(spec, workloads.ViewOptions{
+			Name: name, Composites: sizes[i], Mode: modes[i], Rand: rng,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start = time.Now()
+		vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fvlViewTime := time.Since(start)
+		fvlTotal += fvlViewTime
+
+		start = time.Now()
+		if _, err := drl.LabelRun(v, r); err != nil {
+			log.Fatal(err)
+		}
+		drlViewTime := time.Since(start)
+		drlTotal += drlViewTime
+
+		fmt.Printf("%-10s  %-10d  %-9v  %6d bytes     %12v    %12v\n",
+			name, sizes[i], modes[i], (vl.SizeBits()+7)/8, fvlViewTime.Round(time.Microsecond), drlViewTime.Round(time.Millisecond))
+
+		// Answer a couple of queries over this view with the shared data labels.
+		proj, err := run.Project(r, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		visible := proj.VisibleItems()
+		d1 := visible[rng.Intn(len(visible))]
+		d2 := visible[rng.Intn(len(visible))]
+		l1, _ := labeler.Label(d1)
+		l2, _ := labeler.Label(d2)
+		ans, err := vl.DependsOn(l1, l2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("            sample query: does d%d depend on d%d under %s?  %v\n", d2, d1, name, ans)
+	}
+
+	fmt.Printf("\ntotal extra cost for 5 views:  FVL %v (view labels only)  vs  DRL %v (relabeling the run per view)\n",
+		fvlTotal.Round(time.Millisecond), drlTotal.Round(time.Millisecond))
+	fmt.Printf("FVL also paid %v once for the data labels; DRL pays its cost again for every future view.\n",
+		fvlLabelTime.Round(time.Millisecond))
+
+	// Views can also be compared against the default (full-detail) view.
+	def := view.Default(spec)
+	if _, err := scheme.LabelView(def, core.VariantQueryEfficient); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAdding, removing or modifying views never touches the data labels (view-adaptive labeling).")
+}

@@ -1,0 +1,158 @@
+// Command quickstart shows the smallest end-to-end use of the library: define
+// a workflow specification with fine-grained dependencies, derive a run while
+// labeling its data items online, label a view, and answer reachability
+// ("does this data item depend on that one?") queries from the labels alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+func main() {
+	// A tiny pipeline: the start module S expands into align -> Filter -> plot,
+	// where Filter is a composite module that repeats a filtering step a
+	// data-dependent number of times (a loop, modeled as linear recursion).
+	//
+	//   S(1 in, 1 out) -> align(1,2) -> Filter(2,1) -> plot(1,1)
+	//   Filter -> step(2,2) -> Filter      (repeat)
+	//   Filter -> last(2,1)                (stop)
+	b := workflow.NewBuilder().
+		Module("S", 1, 1).
+		Module("Filter", 2, 1).
+		Module("align", 1, 2).
+		Module("step", 2, 2).
+		Module("last", 2, 1).
+		Module("plot", 1, 1).
+		Start("S")
+
+	root := workflow.NewWorkflow()
+	root.Node("align")
+	root.Node("Filter")
+	root.Node("plot")
+	root.Edge("align", 0, "Filter", 0)
+	root.Edge("align", 1, "Filter", 1)
+	root.Edge("Filter", 0, "plot", 0)
+	b.Production("S", root.Workflow())
+
+	repeat := workflow.NewWorkflow()
+	repeat.Node("step")
+	repeat.Node("Filter")
+	repeat.Edge("step", 0, "Filter", 0)
+	repeat.Edge("step", 1, "Filter", 1)
+	b.Production("Filter", repeat.Workflow())
+
+	stop := workflow.NewWorkflow()
+	stop.Node("last")
+	b.Production("Filter", stop.Workflow())
+
+	// Fine-grained dependencies: align's second output only depends on its
+	// input (trivially), but step's outputs each depend on one input only, and
+	// last aggregates both inputs.
+	b.Deps("align", [2]int{0, 0}, [2]int{0, 1})
+	b.Deps("step", [2]int{0, 0}, [2]int{1, 1})
+	b.Deps("last", [2]int{0, 0}, [2]int{1, 0})
+	b.Deps("plot", [2]int{0, 0})
+
+	spec, err := b.Build()
+	if err != nil {
+		log.Fatalf("building the specification: %v", err)
+	}
+
+	// The labeling scheme is built once per specification (static
+	// preprocessing of the production graph and its recursions).
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		log.Fatalf("building the labeling scheme: %v", err)
+	}
+
+	// Derive a run while labeling it online: the labeler is an observer that
+	// assigns each data item its label the moment the item is produced.
+	r := run.New(spec)
+	labeler := scheme.NewRunLabeler()
+	if err := r.AddObserver(labeler); err != nil {
+		log.Fatal(err)
+	}
+	// Expand S, then loop the filter twice before stopping.
+	mustApply(r, 0, 1) // S      -> align, Filter, plot
+	filter := instanceOf(r, "Filter")
+	mustApply(r, filter, 2) // Filter -> step, Filter
+	filter = unexpandedInstanceOf(r, "Filter")
+	mustApply(r, filter, 2) // Filter -> step, Filter
+	filter = unexpandedInstanceOf(r, "Filter")
+	mustApply(r, filter, 3) // Filter -> last
+
+	fmt.Printf("run derived: %d module instances, %d data items, complete=%v\n",
+		len(r.Instances), r.Size(), r.IsComplete())
+
+	// Label the default view (the view that exposes everything).
+	defaultView := view.Default(spec)
+	viewLabel, err := scheme.LabelView(defaultView, core.VariantQueryEfficient)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print every data label, then answer a few queries using only labels.
+	fmt.Println("\ndata labels (φr):")
+	for _, item := range r.Items {
+		l, _ := labeler.Label(item.ID)
+		buf, bits := scheme.Codec().Encode(l)
+		fmt.Printf("  d%-2d %-55s (%d bits, %d bytes encoded)\n", item.ID, l, bits, len(buf))
+	}
+
+	fmt.Println("\nreachability queries over the default view (π):")
+	input := r.Items[0].ID                     // the run's initial input
+	output := finalOutputOf(r)                 // the run's final output
+	intermediate := r.Items[len(r.Items)-1].ID // the last intermediate item created
+	for _, q := range [][2]int{{input, output}, {input, intermediate}, {intermediate, input}, {output, input}} {
+		l1, _ := labeler.Label(q[0])
+		l2, _ := labeler.Label(q[1])
+		ans, err := viewLabel.DependsOn(l1, l2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  does d%d depend on d%d?  %v\n", q[1], q[0], ans)
+	}
+}
+
+func mustApply(r *run.Run, instance, production int) {
+	if _, err := r.Apply(instance, production); err != nil {
+		log.Fatalf("applying production %d to instance %d: %v", production, instance, err)
+	}
+}
+
+func instanceOf(r *run.Run, module string) int {
+	for _, inst := range r.Instances {
+		if inst.Module == module {
+			return inst.ID
+		}
+	}
+	log.Fatalf("no instance of %q", module)
+	return -1
+}
+
+func unexpandedInstanceOf(r *run.Run, module string) int {
+	for _, id := range r.Frontier() {
+		inst, _ := r.Instance(id)
+		if inst.Module == module {
+			return id
+		}
+	}
+	log.Fatalf("no unexpanded instance of %q", module)
+	return -1
+}
+
+func finalOutputOf(r *run.Run) int {
+	for _, item := range r.Items {
+		if item.Src >= 0 && item.Dst < 0 {
+			return item.ID
+		}
+	}
+	log.Fatal("run has no final output")
+	return -1
+}

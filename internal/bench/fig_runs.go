@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drl"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// runScalingPoint aggregates, for one run size, the averaged measurements of
+// Figures 17 and 18: FVL and DRL label lengths and construction times.
+type runScalingPoint struct {
+	size    int
+	fvl     labelStats
+	drl     labelStats
+	fvlTime time.Duration
+	drlTime time.Duration
+}
+
+// runScaling derives SamplesPerPoint runs per configured size over the
+// BioAID-like workflow, labels each with FVL (view-adaptive) and with DRL
+// (for the default view), and averages the measurements.
+func runScaling(cfg Config) ([]runScalingPoint, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	defView := view.Default(spec)
+
+	var points []runScalingPoint
+	for si, size := range cfg.RunSizes {
+		var agg runScalingPoint
+		agg.size = size
+		var fvlAvg, drlAvg float64
+		for s := 0; s < cfg.SamplesPerPoint; s++ {
+			seed := cfg.Seed + int64(si*1000+s)
+			r, labeler, fvlTime, err := labeledBioAIDRun(scheme, size, seed)
+			if err != nil {
+				return nil, err
+			}
+			fs := fvlLabelStats(scheme, labeler, r)
+			fvlAvg += fs.avg
+			if fs.max > agg.fvl.max {
+				agg.fvl.max = fs.max
+			}
+			agg.fvlTime += fvlTime
+
+			drlStart := time.Now()
+			dLabeler, err := drl.LabelRun(defView, r)
+			if err != nil {
+				return nil, err
+			}
+			agg.drlTime += time.Since(drlStart)
+			ds := drlLabelStats(dLabeler, r)
+			drlAvg += ds.avg
+			if ds.max > agg.drl.max {
+				agg.drl.max = ds.max
+			}
+		}
+		agg.fvl.avg = fvlAvg / float64(cfg.SamplesPerPoint)
+		agg.drl.avg = drlAvg / float64(cfg.SamplesPerPoint)
+		agg.fvlTime /= time.Duration(cfg.SamplesPerPoint)
+		agg.drlTime /= time.Duration(cfg.SamplesPerPoint)
+		points = append(points, agg)
+	}
+	return points, nil
+}
+
+// Fig17 reproduces Figure 17: the maximum and average data label length (in
+// bits) of FVL and DRL as the run size grows from 1K to 32K data items.
+func Fig17(cfg Config) (*Table, error) {
+	points, err := runScaling(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    "fig17",
+		Title:   "Data label length (bits) vs run size, BioAID-like workflow",
+		Columns: []string{"run size", "FVL-avg", "FVL-max", "DRL-avg", "DRL-max"},
+		Notes:   "both schemes grow parallel to log(n); FVL stays slightly shorter than DRL",
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmtSize(p.size),
+			fmtBits(p.fvl.avg), fmtCount(p.fvl.max),
+			fmtBits(p.drl.avg), fmtCount(p.drl.max),
+		})
+	}
+	return t, nil
+}
+
+// Fig18 reproduces Figure 18: the total construction time of all data labels
+// of a run for FVL and DRL (labeling the default view), as the run size grows.
+func Fig18(cfg Config) (*Table, error) {
+	points, err := runScaling(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    "fig18",
+		Title:   "Data label construction time (ms) vs run size, BioAID-like workflow",
+		Columns: []string{"run size", "FVL (ms)", "DRL (ms)"},
+		Notes:   "both grow linearly; FVL is comparable to or slightly faster than DRL for large runs",
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{fmtSize(p.size), fmtMs(p.fvlTime), fmtMs(p.drlTime)})
+	}
+	return t, nil
+}
+
+// Fig19 reproduces Figure 19: the view label length of the three FVL variants
+// for a small (2 composite modules), medium (8) and large (16) safe view with
+// random grey-box dependencies.
+func Fig19(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	views, err := bioAIDViews(scheme, workloads.GreyBox, cfg.Seed+77)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:    "fig19",
+		Title:   "View label length (KB) and construction time (ms) per FVL variant",
+		Columns: []string{"view", "variant", "label (KB)", "construction (ms)"},
+		Notes:   "space-efficient ≪ default ≤ query-efficient; all are small constants independent of run size",
+	}
+	for _, name := range []string{"small", "medium", "large"} {
+		v := views[name]
+		for _, variant := range []core.Variant{core.VariantSpaceEfficient, core.VariantDefault, core.VariantQueryEfficient} {
+			start := time.Now()
+			vl, err := scheme.LabelView(v, variant)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			t.Rows = append(t.Rows, []string{name, variant.String(), fmtKB(vl.SizeBits()), fmtMs(elapsed)})
+		}
+	}
+	return t, nil
+}
+
+// Fig20 reproduces Figure 20: the average query time of the three FVL
+// variants as the run size grows; queries pick two random visible data items
+// and one of the three views of Figure 19 at random.
+func Fig20(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	views, err := bioAIDViews(scheme, workloads.GreyBox, cfg.Seed+77)
+	if err != nil {
+		return nil, err
+	}
+	viewNames := []string{"small", "medium", "large"}
+
+	t := &Table{
+		Name:    "fig20",
+		Title:   "Query time (µs per query) vs run size per FVL variant",
+		Columns: []string{"run size", "space-efficient", "default", "query-efficient"},
+		Notes:   "query time is constant in the run size; space-efficient is roughly an order of magnitude slower than the other two, query-efficient is the fastest",
+	}
+	variants := []core.Variant{core.VariantSpaceEfficient, core.VariantDefault, core.VariantQueryEfficient}
+	for si, size := range cfg.RunSizes {
+		r, labeler, _, err := labeledBioAIDRun(scheme, size, cfg.Seed+int64(500+si))
+		if err != nil {
+			return nil, err
+		}
+		perView := cfg.Queries / len(viewNames)
+		if perView == 0 {
+			perView = 1
+		}
+		row := []string{fmtSize(size)}
+		for _, variant := range variants {
+			// The slow graph-search variant gets a smaller sample to keep the
+			// harness practical; the reported value is still a per-query mean.
+			queries := perView
+			if variant == core.VariantSpaceEfficient && queries > 2000 {
+				queries = 2000
+			}
+			var total time.Duration
+			var counted int
+			for vi, name := range viewNames {
+				v := views[name]
+				vl, err := scheme.LabelView(v, variant)
+				if err != nil {
+					return nil, err
+				}
+				pairs, err := visibleLabelPairs(labeler, r, v, queries, cfg.Seed+int64(600+si*10+vi))
+				if err != nil {
+					return nil, err
+				}
+				avg, err := measureQueries(vl, pairs)
+				if err != nil {
+					return nil, err
+				}
+				total += avg
+				counted++
+			}
+			row = append(row, fmtUs(total/time.Duration(counted)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// syntheticMetrics are the five quantities Table 1 classifies for each
+// synthetic workflow parameter.
+type syntheticMetrics struct {
+	dataLabelBits float64       // average data label length
+	dataLabelTime time.Duration // total run labeling time
+	viewLabelBits int           // view label length (query-efficient variant)
+	viewLabelTime time.Duration // view labeling time
+	queryTime     time.Duration // average query time
+}
+
+// measureSynthetic derives one run of the synthetic workflow with the given
+// parameters, labels it, labels a safe view containing every composite module
+// with random (grey-box) dependencies, and measures the five metrics.
+func measureSynthetic(cfg Config, params workloads.SyntheticParams, seed int64) (syntheticMetrics, error) {
+	var m syntheticMetrics
+	spec := workloads.Synthetic(params)
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return m, err
+	}
+	r, err := workloads.DeepRun(spec, workloads.RunOptions{TargetSize: cfg.MultiViewRunSize, Rand: newRand(seed)})
+	if err != nil {
+		return m, err
+	}
+	start := time.Now()
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		return m, err
+	}
+	m.dataLabelTime = time.Since(start)
+	m.dataLabelBits = fvlLabelStats(scheme, labeler, r).avg
+
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name:       "all",
+		Composites: params.NestingDepth * params.RecursionLength,
+		Mode:       workloads.GreyBox,
+		Rand:       newRand(seed + 1),
+	})
+	if err != nil {
+		return m, err
+	}
+	start = time.Now()
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return m, err
+	}
+	m.viewLabelTime = time.Since(start)
+	m.viewLabelBits = vl.SizeBits()
+
+	queries := cfg.Queries
+	if queries > 20000 {
+		queries = 20000
+	}
+	pairs, err := visibleLabelPairs(labeler, r, v, queries, seed+2)
+	if err != nil {
+		return m, err
+	}
+	m.queryTime, err = measureQueries(vl, pairs)
+	if err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// Fig24 reproduces Figure 24: the average data label length as the nesting
+// depth of the synthetic workflow grows from 2 to 10.
+func Fig24(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "fig24",
+		Title:   "Data label length (bits) vs nesting depth (synthetic workflows)",
+		Columns: []string{"nesting depth", "FVL avg label (bits)"},
+		Notes:   "label length grows linearly with the nesting depth (one path element per level of the compressed parse tree)",
+	}
+	for _, depth := range []int{2, 4, 6, 8, 10} {
+		params := workloads.DefaultSyntheticParams()
+		params.NestingDepth = depth
+		m, err := measureSynthetic(cfg, params, cfg.Seed+int64(2000+depth))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmtCount(depth), fmtBits(m.dataLabelBits)})
+	}
+	return t, nil
+}
+
+// Fig25 reproduces Figure 25: the average query time as the module degree of
+// the synthetic workflow grows from 2 to 10.
+func Fig25(cfg Config) (*Table, error) {
+	t := &Table{
+		Name:    "fig25",
+		Title:   "Query time (µs per query) vs module degree (synthetic workflows)",
+		Columns: []string{"module degree", "query time (µs)"},
+		Notes:   "query time grows roughly linearly with the module degree (larger reachability matrices are multiplied during decoding)",
+	}
+	for _, degree := range []int{2, 4, 6, 8, 10} {
+		params := workloads.DefaultSyntheticParams()
+		params.ModuleDegree = degree
+		m, err := measureSynthetic(cfg, params, cfg.Seed+int64(3000+degree))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmtCount(degree), fmtUs(m.queryTime)})
+	}
+	return t, nil
+}
+
+// Table1 reproduces Table 1: for each synthetic workflow parameter, the
+// impact (high / low / none) of sweeping the parameter on the five metrics.
+// Impact is classified by the ratio of the metric at the parameter's largest
+// swept value over its smallest.
+func Table1(cfg Config) (*Table, error) {
+	type sweep struct {
+		name string
+		low  workloads.SyntheticParams
+		high workloads.SyntheticParams
+	}
+	base := workloads.DefaultSyntheticParams()
+	mk := func(mod func(*workloads.SyntheticParams)) workloads.SyntheticParams {
+		p := base
+		mod(&p)
+		return p
+	}
+	sweeps := []sweep{
+		{"workflow size", mk(func(p *workloads.SyntheticParams) { p.WorkflowSize = 10 }), mk(func(p *workloads.SyntheticParams) { p.WorkflowSize = 80 })},
+		{"module degree", mk(func(p *workloads.SyntheticParams) { p.ModuleDegree = 2 }), mk(func(p *workloads.SyntheticParams) { p.ModuleDegree = 10 })},
+		{"nesting depth", mk(func(p *workloads.SyntheticParams) { p.NestingDepth = 2 }), mk(func(p *workloads.SyntheticParams) { p.NestingDepth = 10 })},
+		{"recursion length", mk(func(p *workloads.SyntheticParams) { p.RecursionLength = 1 }), mk(func(p *workloads.SyntheticParams) { p.RecursionLength = 5 })},
+	}
+
+	classify := func(ratio float64) string {
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		switch {
+		case ratio >= 2.0:
+			return "high impact"
+		case ratio >= 1.3:
+			return "low impact"
+		default:
+			return "no impact"
+		}
+	}
+
+	t := &Table{
+		Name:  "table1",
+		Title: "Impact of synthetic workflow parameters on view-adaptive labeling",
+		Columns: []string{"parameter", "data label length", "data label time",
+			"view label length", "view label time", "query time"},
+		Notes: "paper: workflow size impacts only the view label; module degree impacts the query time; nesting depth impacts the data label length; recursion length has low impact everywhere",
+	}
+	for i, s := range sweeps {
+		low, err := measureSynthetic(cfg, s.low, cfg.Seed+int64(4000+i*10))
+		if err != nil {
+			return nil, err
+		}
+		high, err := measureSynthetic(cfg, s.high, cfg.Seed+int64(4000+i*10+1))
+		if err != nil {
+			return nil, err
+		}
+		ratio := func(a, b float64) string {
+			if a == 0 || b == 0 {
+				return "no impact"
+			}
+			r := b / a
+			return fmt.Sprintf("%s (x%s)", classify(r), fmtRatio(r))
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name,
+			ratio(low.dataLabelBits, high.dataLabelBits),
+			ratio(float64(low.dataLabelTime)/float64(cfg.MultiViewRunSize), float64(high.dataLabelTime)/float64(cfg.MultiViewRunSize)),
+			ratio(float64(low.viewLabelBits), float64(high.viewLabelBits)),
+			ratio(float64(low.viewLabelTime), float64(high.viewLabelTime)),
+			ratio(float64(low.queryTime), float64(high.queryTime)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,311 @@
+// Package boolmat implements small dense boolean matrices used as
+// reachability matrices by the labeling schemes.
+//
+// A Matrix with r rows and c columns represents a relation between two
+// ordered sets of ports: entry (i, j) is true when port i of the first set
+// reaches (or is related to) port j of the second set. Matrices in this
+// package are value-ish: operations return fresh matrices and never alias
+// their operands' storage.
+package boolmat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense boolean matrix. The zero value is an empty 0x0 matrix.
+type Matrix struct {
+	rows, cols int
+	data       []bool // row-major, len == rows*cols
+}
+
+// New returns a rows x cols matrix with all entries false.
+// It panics if rows or cols is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("boolmat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]bool, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Full returns a rows x cols matrix with all entries true.
+func Full(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.data {
+		m.data[i] = true
+	}
+	return m
+}
+
+// FromRows builds a matrix from a slice of rows. All rows must have the same
+// length. An empty input yields the 0x0 matrix.
+func FromRows(rows [][]bool) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("boolmat: ragged rows: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Get reports the entry at (i, j). It panics on out-of-range indices.
+func (m *Matrix) Get(i, j int) bool {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the entry at (i, j). It panics on out-of-range indices.
+func (m *Matrix) Set(i, j int, v bool) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("boolmat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if m.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether every entry is false.
+func (m *Matrix) IsEmpty() bool {
+	for _, v := range m.data {
+		if v {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFull reports whether every entry is true. The 0x0 matrix is full.
+func (m *Matrix) IsFull() bool {
+	for _, v := range m.data {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one entry is true.
+func (m *Matrix) Any() bool { return !m.IsEmpty() }
+
+// CountTrue returns the number of true entries.
+func (m *Matrix) CountTrue() int {
+	n := 0
+	for _, v := range m.data {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Transpose returns the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.data[i*m.cols+j] {
+				t.data[j*t.cols+i] = true
+			}
+		}
+	}
+	return t
+}
+
+// Mul returns the boolean matrix product m x o (logical OR of ANDs).
+// It panics when the inner dimensions disagree.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("boolmat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	p := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			if !m.data[i*m.cols+k] {
+				continue
+			}
+			for j := 0; j < o.cols; j++ {
+				if o.data[k*o.cols+j] {
+					p.data[i*p.cols+j] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Or returns the element-wise disjunction of m and o.
+// It panics when dimensions differ.
+func (m *Matrix) Or(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(fmt.Sprintf("boolmat: cannot OR %dx%d with %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	r := m.Clone()
+	for i, v := range o.data {
+		if v {
+			r.data[i] = true
+		}
+	}
+	return r
+}
+
+// Pow returns m raised to the k-th power under boolean matrix multiplication,
+// computed by repeated squaring in O(log k) multiplications. Pow(0) is the
+// identity. It panics if m is not square or k is negative.
+func (m *Matrix) Pow(k int) *Matrix {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("boolmat: Pow on non-square %dx%d matrix", m.rows, m.cols))
+	}
+	if k < 0 {
+		panic("boolmat: negative exponent")
+	}
+	result := Identity(m.rows)
+	base := m.Clone()
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+		k >>= 1
+	}
+	return result
+}
+
+// Product multiplies the given matrices left to right. With no arguments it
+// panics because the dimension of the identity is unknown; with a single
+// argument it returns a clone of that matrix.
+func Product(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("boolmat: Product of no matrices")
+	}
+	r := ms[0].Clone()
+	for _, m := range ms[1:] {
+		r = r.Mul(m)
+	}
+	return r
+}
+
+// String renders the matrix as rows of 0/1 characters, e.g. "[10|01]".
+func (m *Matrix) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j := 0; j < m.cols; j++ {
+			if m.data[i*m.cols+j] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// PowerPeriod describes the eventually-periodic structure of the sequence
+// X^1, X^2, X^3, ... of boolean powers of a square matrix X: there exist
+// Preperiod >= 1 and Period >= 1 such that X^(a+Period) == X^a for all
+// a >= Preperiod. Powers caches X^1 .. X^(Preperiod+Period-1) so any power
+// can be resolved in constant time.
+type PowerPeriod struct {
+	Preperiod int
+	Period    int
+	Powers    []*Matrix // Powers[a-1] == X^a for a in [1, Preperiod+Period-1]
+}
+
+// FindPeriod computes the eventually-periodic structure of the powers of x.
+// Because an n x n boolean matrix has at most 2^(n^2) distinct values, the
+// sequence of powers must repeat; in the workflow setting n is the (constant)
+// maximum module degree, so this is the "a < b <= 2^(c^2)+1 with X^a = X^b"
+// observation of Section 4.4.3 of the paper.
+// It panics if x is not square.
+func FindPeriod(x *Matrix) *PowerPeriod {
+	if x.Rows() != x.Cols() {
+		panic(fmt.Sprintf("boolmat: FindPeriod on non-square %dx%d matrix", x.Rows(), x.Cols()))
+	}
+	var powers []*Matrix
+	cur := x.Clone()
+	for {
+		for a, p := range powers {
+			if p.Equal(cur) {
+				// powers[len(powers)] would equal powers[a]:
+				// X^(len+1) == X^(a+1)  =>  preperiod a+1, period len-a.
+				return &PowerPeriod{
+					Preperiod: a + 1,
+					Period:    len(powers) - a,
+					Powers:    powers,
+				}
+			}
+		}
+		powers = append(powers, cur.Clone())
+		cur = cur.Mul(x)
+	}
+}
+
+// Power returns X^k for k >= 1 using the cached periodic structure.
+func (pp *PowerPeriod) Power(k int) *Matrix {
+	if k < 1 {
+		panic("boolmat: PowerPeriod.Power requires k >= 1")
+	}
+	if k <= len(pp.Powers) {
+		return pp.Powers[k-1]
+	}
+	// Reduce k into [Preperiod, Preperiod+Period-1].
+	k = pp.Preperiod + (k-pp.Preperiod)%pp.Period
+	return pp.Powers[k-1]
+}
+
+// SizeBits returns the number of bits needed to materialize the cached powers
+// (one bit per matrix entry), used by the view-label size accounting.
+func (pp *PowerPeriod) SizeBits() int {
+	total := 0
+	for _, p := range pp.Powers {
+		total += p.Rows() * p.Cols()
+	}
+	return total
+}

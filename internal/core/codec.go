@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// bitWriter accumulates bits most-significant-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) writeBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+func (w *bitWriter) writeBits(v uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		w.writeBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// writeGamma writes v >= 1 in Elias-gamma code: the unary length of the
+// binary representation followed by its low-order bits.
+func (w *bitWriter) writeGamma(v uint64) {
+	if v < 1 {
+		panic("core: gamma code requires v >= 1")
+	}
+	n := bits.Len64(v)
+	for i := 0; i < n-1; i++ {
+		w.writeBit(0)
+	}
+	w.writeBits(v, n)
+}
+
+func (w *bitWriter) len() int { return w.nbit }
+
+type bitReader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+func newBitReader(buf []byte, nbit int) *bitReader { return &bitReader{buf: buf, nbit: nbit} }
+
+func (r *bitReader) readBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, fmt.Errorf("core: bit stream exhausted")
+	}
+	b := (r.buf[r.pos/8] >> uint(7-r.pos%8)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+func (r *bitReader) readBits(width int) (uint64, error) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+func (r *bitReader) readGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+	}
+	v := uint64(1)
+	for i := 0; i < zeros; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// bitsFor returns the number of bits needed to store values in [0, max].
+func bitsFor(max int) int {
+	if max <= 0 {
+		return 1
+	}
+	return bits.Len(uint(max))
+}
+
+// Codec encodes data labels into a compact bit string and measures their
+// length in bits. Quantities bounded by the (constant-size) specification —
+// production index k, cycle index s, cycle offset t, port index — use fixed
+// widths derived from the specification; child positions i, which grow with
+// the run, use Elias-gamma codes; the common prefix of the output-port path
+// and the input-port path is factored out, as suggested in Section 4.2.2.
+type Codec struct {
+	kBits    int
+	sBits    int
+	tBits    int
+	portBits int
+}
+
+// NewCodec derives the fixed field widths from the scheme's specification.
+func NewCodec(s *Scheme) *Codec {
+	maxPort := 0
+	for _, m := range s.Spec.Grammar.Modules {
+		if m.In > maxPort {
+			maxPort = m.In
+		}
+		if m.Out > maxPort {
+			maxPort = m.Out
+		}
+	}
+	maxCycleLen := 1
+	for _, c := range s.Cycles {
+		if c.Len() > maxCycleLen {
+			maxCycleLen = c.Len()
+		}
+	}
+	return &Codec{
+		kBits:    bitsFor(len(s.Spec.Grammar.Productions)),
+		sBits:    bitsFor(len(s.Cycles)),
+		tBits:    bitsFor(maxCycleLen),
+		portBits: bitsFor(maxPort),
+	}
+}
+
+func (c *Codec) writeEdge(w *bitWriter, e EdgeLabel) {
+	if e.Recursive {
+		w.writeBit(1)
+		w.writeBits(uint64(e.S), c.sBits)
+		w.writeBits(uint64(e.T), c.tBits)
+		w.writeGamma(uint64(e.I))
+	} else {
+		w.writeBit(0)
+		w.writeBits(uint64(e.K), c.kBits)
+		w.writeGamma(uint64(e.I))
+	}
+}
+
+func (c *Codec) readEdge(r *bitReader) (EdgeLabel, error) {
+	rec, err := r.readBit()
+	if err != nil {
+		return EdgeLabel{}, err
+	}
+	if rec == 1 {
+		s, err := r.readBits(c.sBits)
+		if err != nil {
+			return EdgeLabel{}, err
+		}
+		t, err := r.readBits(c.tBits)
+		if err != nil {
+			return EdgeLabel{}, err
+		}
+		i, err := r.readGamma()
+		if err != nil {
+			return EdgeLabel{}, err
+		}
+		return RecursiveEdge(int(s), int(t), int(i)), nil
+	}
+	k, err := r.readBits(c.kBits)
+	if err != nil {
+		return EdgeLabel{}, err
+	}
+	i, err := r.readGamma()
+	if err != nil {
+		return EdgeLabel{}, err
+	}
+	return NonRecursiveEdge(int(k), int(i)), nil
+}
+
+func (c *Codec) writePath(w *bitWriter, path []EdgeLabel) {
+	w.writeGamma(uint64(len(path) + 1))
+	for _, e := range path {
+		c.writeEdge(w, e)
+	}
+}
+
+func (c *Codec) readPath(r *bitReader) ([]EdgeLabel, error) {
+	n, err := r.readGamma()
+	if err != nil {
+		return nil, err
+	}
+	count := int(n) - 1
+	path := make([]EdgeLabel, 0, count)
+	for i := 0; i < count; i++ {
+		e, err := c.readEdge(r)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, e)
+	}
+	return path, nil
+}
+
+// Encode serializes a data label; it returns the byte buffer and the exact
+// number of significant bits (the label length reported by the experiments).
+func (c *Codec) Encode(d *DataLabel) ([]byte, int) {
+	w := &bitWriter{}
+	switch {
+	case d.Out == nil && d.In == nil:
+		w.writeBits(0, 2)
+	case d.Out == nil:
+		w.writeBits(1, 2) // initial input
+		c.writePath(w, d.In.Path)
+		w.writeBits(uint64(d.In.Port), c.portBits)
+	case d.In == nil:
+		w.writeBits(2, 2) // final output
+		c.writePath(w, d.Out.Path)
+		w.writeBits(uint64(d.Out.Port), c.portBits)
+	default:
+		w.writeBits(3, 2) // intermediate: shared prefix + two suffixes
+		shared := commonPrefixLen(d.Out.Path, d.In.Path)
+		c.writePath(w, d.Out.Path[:shared])
+		c.writePath(w, d.Out.Path[shared:])
+		w.writeBits(uint64(d.Out.Port), c.portBits)
+		c.writePath(w, d.In.Path[shared:])
+		w.writeBits(uint64(d.In.Port), c.portBits)
+	}
+	return w.buf, w.len()
+}
+
+// SizeBits returns the encoded length of the label in bits.
+func (c *Codec) SizeBits(d *DataLabel) int {
+	_, n := c.Encode(d)
+	return n
+}
+
+// Decode parses a label previously produced by Encode.
+func (c *Codec) Decode(buf []byte, nbit int) (*DataLabel, error) {
+	r := newBitReader(buf, nbit)
+	kind, err := r.readBits(2)
+	if err != nil {
+		return nil, err
+	}
+	readPort := func() (*PortLabel, error) {
+		path, err := c.readPath(r)
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.readBits(c.portBits)
+		if err != nil {
+			return nil, err
+		}
+		return &PortLabel{Path: path, Port: int(p)}, nil
+	}
+	switch kind {
+	case 0:
+		return &DataLabel{}, nil
+	case 1:
+		in, err := readPort()
+		if err != nil {
+			return nil, err
+		}
+		return &DataLabel{In: in}, nil
+	case 2:
+		out, err := readPort()
+		if err != nil {
+			return nil, err
+		}
+		return &DataLabel{Out: out}, nil
+	default:
+		shared, err := c.readPath(r)
+		if err != nil {
+			return nil, err
+		}
+		outSuffix, err := c.readPath(r)
+		if err != nil {
+			return nil, err
+		}
+		outPort, err := r.readBits(c.portBits)
+		if err != nil {
+			return nil, err
+		}
+		inSuffix, err := c.readPath(r)
+		if err != nil {
+			return nil, err
+		}
+		inPort, err := r.readBits(c.portBits)
+		if err != nil {
+			return nil, err
+		}
+		out := &PortLabel{Path: append(append([]EdgeLabel(nil), shared...), outSuffix...), Port: int(outPort)}
+		in := &PortLabel{Path: append(append([]EdgeLabel(nil), shared...), inSuffix...), Port: int(inPort)}
+		return &DataLabel{Out: out, In: in}, nil
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/workflow"
+)
+
+// moduleAt returns the module denoted by the compressed-parse-tree node at
+// the end of the given edge-label path, starting from the start module.
+func (s *Scheme) moduleAt(path []EdgeLabel) (workflow.Module, error) {
+	g := s.Spec.Grammar
+	cur := g.Modules[g.Start]
+	for _, e := range path {
+		if e.Recursive {
+			m, err := s.moduleAtCycleOffset(e.S, e.T+e.I-1)
+			if err != nil {
+				return workflow.Module{}, err
+			}
+			cur = m
+			continue
+		}
+		if e.K < 1 || e.K > len(g.Productions) {
+			return workflow.Module{}, fmt.Errorf("core: edge label %v references unknown production", e)
+		}
+		p := g.Productions[e.K-1]
+		if e.I < 1 || e.I > len(p.RHS.Nodes) {
+			return workflow.Module{}, fmt.Errorf("core: edge label %v references unknown node of production %d", e, e.K)
+		}
+		cur = g.Modules[p.RHS.Nodes[e.I-1]]
+	}
+	return cur, nil
+}
+
+// mul multiplies two reachability matrices. When the label is in matrix-free
+// mode (Section 6.4), products of complete or empty matrices are
+// short-circuited, which preserves correctness and avoids most of the matrix
+// arithmetic on coarse-grained views.
+func (vl *ViewLabel) mul(a, b *boolmat.Matrix) *boolmat.Matrix {
+	if vl.matrixFree {
+		if a.IsEmpty() || b.IsEmpty() {
+			return boolmat.New(a.Rows(), b.Cols())
+		}
+		if a.Cols() > 0 && a.IsFull() && b.IsFull() {
+			return boolmat.Full(a.Rows(), b.Cols())
+		}
+	}
+	return a.Mul(b)
+}
+
+// inputsProduct returns the product of Inputs over path[from:]: the
+// reachability matrix from the inputs of the module at path[:from] to the
+// inputs of the module at the end of the path. An empty segment yields the
+// identity.
+func (vl *ViewLabel) inputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix, error) {
+	if from >= len(path) {
+		mod, err := vl.scheme.moduleAt(path)
+		if err != nil {
+			return nil, err
+		}
+		return boolmat.Identity(mod.In), nil
+	}
+	result, err := vl.Inputs(path[from])
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range path[from+1:] {
+		m, err := vl.Inputs(e)
+		if err != nil {
+			return nil, err
+		}
+		result = vl.mul(result, m)
+	}
+	return result, nil
+}
+
+// outputsProduct returns the product of Outputs over path[from:]: the
+// reversed reachability matrix from the outputs of the module at path[:from]
+// to the outputs of the module at the end of the path.
+func (vl *ViewLabel) outputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix, error) {
+	if from >= len(path) {
+		mod, err := vl.scheme.moduleAt(path)
+		if err != nil {
+			return nil, err
+		}
+		return boolmat.Identity(mod.Out), nil
+	}
+	result, err := vl.Outputs(path[from])
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range path[from+1:] {
+		m, err := vl.Outputs(e)
+		if err != nil {
+			return nil, err
+		}
+		result = vl.mul(result, m)
+	}
+	return result, nil
+}
+
+// DependsOn is the decoding predicate π of the view-adaptive labeling scheme
+// (Algorithm 2): using only the two data labels and this view label, it
+// reports whether the data item labeled d2 depends on the data item labeled
+// d1 with respect to the view. It returns an error when either data item is
+// not visible in the view, or when the labels are structurally inconsistent
+// with the scheme's specification.
+func (vl *ViewLabel) DependsOn(d1, d2 *DataLabel) (bool, error) {
+	vl.resetQueryState()
+	if d1 == nil || d2 == nil {
+		return false, fmt.Errorf("core: nil data label")
+	}
+	if !vl.Visible(d1) {
+		return false, fmt.Errorf("core: the first data item is not visible in view %q", vl.view.Name)
+	}
+	if !vl.Visible(d2) {
+		return false, fmt.Errorf("core: the second data item is not visible in view %q", vl.view.Name)
+	}
+
+	// Case I: a final output has no dependents; nothing depends on less than
+	// an initial input.
+	if d1.In == nil || d2.Out == nil {
+		return false, nil
+	}
+
+	// Case II: initial input to final output — both are ports of the start
+	// module, so λ*(S) answers directly.
+	if d1.Out == nil && d2.In == nil {
+		return vl.safeGet(vl.start, d1.In.Port, d2.Out.Port)
+	}
+
+	// Case III: initial input to intermediate item — chain the I matrices
+	// along the consuming port's path.
+	if d1.Out == nil {
+		prod, err := vl.inputsProduct(d2.In.Path, 0)
+		if err != nil {
+			return false, err
+		}
+		return vl.safeGet(prod, d1.In.Port, d2.In.Port)
+	}
+
+	// Case IV: intermediate item to final output — chain the O matrices along
+	// the producing port's path.
+	if d2.In == nil {
+		prod, err := vl.outputsProduct(d1.Out.Path, 0)
+		if err != nil {
+			return false, err
+		}
+		return vl.safeGet(prod, d2.Out.Port, d1.Out.Port)
+	}
+
+	// Main cases: both items are intermediate.
+	return vl.decodeMain(d1.Out, d2.In)
+}
+
+func (vl *ViewLabel) safeGet(m *boolmat.Matrix, x, y int) (bool, error) {
+	if x < 0 || x >= m.Rows() || y < 0 || y >= m.Cols() {
+		return false, fmt.Errorf("core: port index (%d,%d) out of range for %dx%d reachability matrix", x, y, m.Rows(), m.Cols())
+	}
+	return m.Get(x, y), nil
+}
+
+// decodeMain handles cases 1, 2a and 2b of Algorithm 2: o1 is the producing
+// port of d1, i2 is the consuming port of d2, both intermediate.
+func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
+	l1, l2 := o1.Path, i2.Path
+	x, y := o1.Port, i2.Port
+	shared := commonPrefixLen(l1, l2)
+
+	// Case 1: the two tree nodes coincide or one is an ancestor of the other;
+	// the consuming port cannot be reached from the producing port.
+	if shared == len(l1) || shared == len(l2) {
+		return false, nil
+	}
+
+	el, er := l1[shared], l2[shared]
+	if el.Recursive != er.Recursive {
+		return false, fmt.Errorf("core: inconsistent data labels: paths diverge at %v vs %v", el, er)
+	}
+
+	if !el.Recursive {
+		// Case 2a: the least common ancestor is an ordinary node; both edges
+		// come from the same production.
+		if el.K != er.K {
+			return false, fmt.Errorf("core: inconsistent data labels: sibling edges %v and %v use different productions", el, er)
+		}
+		i, j := el.I, er.I
+		if i > j {
+			return false, nil
+		}
+		z, err := vl.edgeZ(el.K, i, j)
+		if err != nil {
+			return false, err
+		}
+		o, err := vl.outputsProduct(l1, shared+1)
+		if err != nil {
+			return false, err
+		}
+		in, err := vl.inputsProduct(l2, shared+1)
+		if err != nil {
+			return false, err
+		}
+		res := vl.mul(vl.mul(o.Transpose(), z), in)
+		return vl.safeGet(res, x, y)
+	}
+
+	// Case 2b: the least common ancestor is a recursive node.
+	if el.S != er.S || el.T != er.T {
+		return false, fmt.Errorf("core: inconsistent data labels: sibling recursive edges %v and %v disagree on the cycle", el, er)
+	}
+	c, err := vl.scheme.Cycle(el.S)
+	if err != nil {
+		return false, err
+	}
+	i, j := el.I, er.I
+	switch {
+	case i < j:
+		// The producing port lives in an earlier unfolding of the recursion
+		// than the consuming port.
+		if shared+1 == len(l1) {
+			// o1 is a port of the i-th unfolded composite module itself; the
+			// j-th module is derived from it, so nothing flows forward.
+			return false, nil
+		}
+		next := l1[shared+1]
+		if next.Recursive {
+			return false, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", el, next)
+		}
+		ce := c.EdgeAt(el.T + i - 1) // the cycle edge leaving the i-th module
+		if next.K != ce.K {
+			return false, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
+		}
+		iPrime, jPrime := next.I, ce.I
+		if iPrime > jPrime {
+			return false, nil
+		}
+		o, err := vl.outputsProduct(l1, shared+2)
+		if err != nil {
+			return false, err
+		}
+		z, err := vl.edgeZ(ce.K, iPrime, jPrime)
+		if err != nil {
+			return false, err
+		}
+		iChain, err := vl.Inputs(RecursiveEdge(el.S, el.T+i, j-i))
+		if err != nil {
+			return false, err
+		}
+		in, err := vl.inputsProduct(l2, shared+1)
+		if err != nil {
+			return false, err
+		}
+		res := vl.mul(vl.mul(vl.mul(o.Transpose(), z), iChain), in)
+		return vl.safeGet(res, x, y)
+
+	case i > j:
+		// The producing port lives in a later (more deeply nested) unfolding
+		// than the consuming port; flow goes out through the recursion and
+		// then forward inside the j-th unfolding's production.
+		if shared+1 == len(l2) {
+			// i2 is a port of the j-th unfolded composite module itself; a
+			// descendant's output cannot reach its ancestor's input.
+			return false, nil
+		}
+		next := l2[shared+1]
+		if next.Recursive {
+			return false, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", er, next)
+		}
+		ce := c.EdgeAt(el.T + j - 1) // the cycle edge leaving the j-th module
+		if next.K != ce.K {
+			return false, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
+		}
+		rPrime, jPrime := ce.I, next.I
+		if rPrime > jPrime {
+			return false, nil
+		}
+		o, err := vl.outputsProduct(l1, shared+1)
+		if err != nil {
+			return false, err
+		}
+		oChain, err := vl.Outputs(RecursiveEdge(el.S, el.T+j, i-j))
+		if err != nil {
+			return false, err
+		}
+		z, err := vl.edgeZ(ce.K, rPrime, jPrime)
+		if err != nil {
+			return false, err
+		}
+		in, err := vl.inputsProduct(l2, shared+2)
+		if err != nil {
+			return false, err
+		}
+		res := vl.mul(vl.mul(vl.mul(o.Transpose(), oChain.Transpose()), z), in)
+		return vl.safeGet(res, x, y)
+
+	default:
+		return false, fmt.Errorf("core: inconsistent data labels: identical recursive edges %v treated as divergent", el)
+	}
+}

@@ -1,0 +1,409 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// allVariants are the three view-labeling variants compared in Section 6.3.
+var allVariants = []core.Variant{core.VariantSpaceEfficient, core.VariantDefault, core.VariantQueryEfficient}
+
+// labeledRun derives a random run of the given size and labels it with FVL.
+func labeledRun(t *testing.T, scheme *core.Scheme, seed int64, size int) (*run.Run, *core.RunLabeler) {
+	t.Helper()
+	r, err := workloads.RandomRun(scheme.Spec, workloads.RunOptions{TargetSize: size, Rand: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatalf("deriving run: %v", err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatalf("labeling run: %v", err)
+	}
+	if labeler.Count() != r.Size() {
+		t.Fatalf("labeled %d items, run has %d", labeler.Count(), r.Size())
+	}
+	return r, labeler
+}
+
+// checkAgainstOracle compares the decoding predicate against the ground-truth
+// projection oracle for pairs of visible items. When pairs <= 0 every pair is
+// checked; otherwise that many random pairs are checked.
+func checkAgainstOracle(t *testing.T, vl *core.ViewLabel, labeler *core.RunLabeler, r *run.Run, v *view.View, pairs int, seed int64) {
+	t.Helper()
+	proj, err := run.Project(r, v)
+	if err != nil {
+		t.Fatalf("projecting run onto %q: %v", v.Name, err)
+	}
+	visible := proj.VisibleItems()
+	if len(visible) == 0 {
+		t.Fatalf("view %q has no visible items", v.Name)
+	}
+	check := func(d1, d2 int) {
+		l1, ok := labeler.Label(d1)
+		if !ok {
+			t.Fatalf("no label for item %d", d1)
+		}
+		l2, ok := labeler.Label(d2)
+		if !ok {
+			t.Fatalf("no label for item %d", d2)
+		}
+		want, err := proj.DependsOn(d1, d2)
+		if err != nil {
+			t.Fatalf("oracle DependsOn(%d,%d): %v", d1, d2, err)
+		}
+		got, err := vl.DependsOn(l1, l2)
+		if err != nil {
+			t.Fatalf("decode DependsOn(%d,%d) over %q: %v\n d1=%v\n d2=%v", d1, d2, v.Name, err, l1, l2)
+		}
+		if got != want {
+			t.Fatalf("DependsOn(%d,%d) over %q (%v) = %v, oracle says %v\n d1=%v\n d2=%v",
+				d1, d2, v.Name, vl.Variant(), got, want, l1, l2)
+		}
+	}
+	if pairs <= 0 {
+		for _, d1 := range visible {
+			for _, d2 := range visible {
+				check(d1, d2)
+			}
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < pairs; n++ {
+		check(visible[rng.Intn(len(visible))], visible[rng.Intn(len(visible))])
+	}
+}
+
+func TestDecodeMatchesOracleOnPaperExample(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 1, 150)
+
+	views := map[string]*view.View{"default": view.Default(spec)}
+	if v, err := workloads.PaperSecurityView(spec); err == nil {
+		views["security"] = v
+	} else {
+		t.Fatal(err)
+	}
+	if v, err := workloads.PaperAbstractionView(spec); err == nil {
+		views["abstraction"] = v
+	} else {
+		t.Fatal(err)
+	}
+
+	for name, v := range views {
+		for _, variant := range allVariants {
+			vl, err := scheme.LabelView(v, variant)
+			if err != nil {
+				t.Fatalf("labeling view %q (%v): %v", name, variant, err)
+			}
+			pairs := 0 // exhaustive
+			if variant == core.VariantSpaceEfficient {
+				pairs = 1500 // the graph-search variant is slow by design
+			}
+			t.Run(fmt.Sprintf("%s/%v", name, variant), func(t *testing.T) {
+				checkAgainstOracle(t, vl, labeler, r, v, pairs, 7)
+			})
+			t.Run(fmt.Sprintf("%s/%v/matrix-free", name, variant), func(t *testing.T) {
+				checkAgainstOracle(t, vl.WithMatrixFree(), labeler, r, v, 1500, 11)
+			})
+		}
+	}
+}
+
+func TestDecodeMatchesOracleOnRandomGreyBoxViews(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(10); seed < 14; seed++ {
+		r, labeler := labeledRun(t, scheme, seed, 100)
+		rng := rand.New(rand.NewSource(seed * 31))
+		for n := 2; n <= 6; n += 2 {
+			v, err := workloads.RandomView(spec, workloads.ViewOptions{
+				Name:       fmt.Sprintf("grey-%d-%d", seed, n),
+				Composites: n,
+				Mode:       workloads.GreyBox,
+				Rand:       rng,
+			})
+			if err != nil {
+				t.Fatalf("random view: %v", err)
+			}
+			vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+			if err != nil {
+				t.Fatalf("labeling %q: %v", v.Name, err)
+			}
+			checkAgainstOracle(t, vl, labeler, r, v, 0, seed)
+		}
+	}
+}
+
+func TestDecodeMatchesOracleOnPartialRuns(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 80, Rand: rand.New(rand.NewSource(5)), Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IsComplete() {
+		t.Skip("random partial run happened to complete; nothing to test")
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Default(spec)
+	vl, err := scheme.LabelView(v, core.VariantDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, vl, labeler, r, v, 0, 5)
+}
+
+func TestVisibilityMatchesProjection(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 3, 120)
+	v, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := run.Project(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := scheme.LabelView(v, core.VariantDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range r.Items {
+		l, ok := labeler.Label(item.ID)
+		if !ok {
+			t.Fatalf("no label for item %d", item.ID)
+		}
+		if got, want := vl.Visible(l), proj.VisibleItem(item.ID); got != want {
+			t.Fatalf("Visible(item %d) = %v, projection says %v (label %v)", item.ID, got, want, l)
+		}
+	}
+}
+
+// TestSecurityViewChangesAnswer reproduces the behaviour of Example 8: the
+// same pair of data items (an input and an output of a composite C instance)
+// has different reachability answers under the default view and under the
+// grey-box security view that hides C's internals behind complete
+// dependencies.
+func TestSecurityViewChangesAnswer(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 2, 60)
+
+	secView, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defLabel, err := scheme.LabelView(view.Default(spec), core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secLabel, err := scheme.LabelView(secView, core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a C instance together with the data item entering its second input
+	// port and the data item leaving its first output port. Under the default
+	// view λ*(C) maps input 1 to output 0 as "no dependency"; under the
+	// security view C is a grey box with complete dependencies, so the answer
+	// flips to "yes".
+	found := false
+	for _, inst := range r.Instances {
+		if inst.Module != "C" || len(inst.Inputs) < 2 || len(inst.Outputs) < 1 {
+			continue
+		}
+		var dIn, dOut int
+		for _, item := range r.Items {
+			if item.Dst == inst.Inputs[1] {
+				dIn = item.ID
+			}
+			if item.Src == inst.Outputs[0] {
+				dOut = item.ID
+			}
+		}
+		if dIn == 0 || dOut == 0 {
+			continue
+		}
+		lIn, _ := labeler.Label(dIn)
+		lOut, _ := labeler.Label(dOut)
+		defAns, err := defLabel.DependsOn(lIn, lOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		secAns, err := secLabel.DependsOn(lIn, lOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if defAns {
+			t.Fatalf("under the default view output 0 of C must not depend on input 1 (λ*(C) is upper-triangular)")
+		}
+		if !secAns {
+			t.Fatalf("under the security view output 0 of C must depend on input 1 (grey box with complete dependencies)")
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatalf("the derived run contains no suitable C instance; enlarge the run")
+	}
+}
+
+func TestNewSchemeRejectsNonStrictlyLinearGrammar(t *testing.T) {
+	spec := workloads.Figure10Example()
+	if _, err := core.NewScheme(spec); err == nil {
+		t.Fatalf("NewScheme must reject a grammar that is linear- but not strictly linear-recursive")
+	}
+	if _, err := core.NewSchemeBasic(spec); err != nil {
+		t.Fatalf("NewSchemeBasic must accept any safe specification: %v", err)
+	}
+}
+
+func TestBasicSchemeMatchesOracle(t *testing.T) {
+	spec := workloads.Figure10Example()
+	scheme, err := core.NewSchemeBasic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 60, Rand: rand.New(rand.NewSource(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Default(spec)
+	vl, err := scheme.LabelView(v, core.VariantDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, vl, labeler, r, v, 0, 9)
+}
+
+func TestBasicSchemeOnPaperExampleMatchesCompactScheme(t *testing.T) {
+	spec := workloads.PaperExample()
+	compact, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := core.NewSchemeBasic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 80, Rand: rand.New(rand.NewSource(21))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := compact.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := basic.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Default(spec)
+	vlc, err := compact.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vlb, err := basic.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d1 := range r.Items {
+		for _, d2 := range r.Items {
+			a1, _ := lc.Label(d1.ID)
+			a2, _ := lc.Label(d2.ID)
+			b1, _ := lb.Label(d1.ID)
+			b2, _ := lb.Label(d2.ID)
+			ca, err := vlc.DependsOn(a1, a2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := vlb.DependsOn(b1, b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ca != cb {
+				t.Fatalf("compact and basic schemes disagree on (%d,%d): %v vs %v", d1.ID, d2.ID, ca, cb)
+			}
+		}
+	}
+}
+
+func TestLabelViewErrors(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := workloads.PaperExample()
+	foreign := view.Default(other)
+	if _, err := scheme.LabelView(foreign, core.VariantDefault); err == nil {
+		t.Fatalf("LabelView must reject views over a different specification")
+	}
+}
+
+func TestDependsOnRejectsInvisibleItems(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 4, 100)
+	v, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := run.Project(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := scheme.LabelView(v, core.VariantDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hidden int
+	for _, item := range r.Items {
+		if !proj.VisibleItem(item.ID) {
+			hidden = item.ID
+			break
+		}
+	}
+	if hidden == 0 {
+		t.Skip("run has no hidden items under the security view")
+	}
+	lh, _ := labeler.Label(hidden)
+	lv, _ := labeler.Label(1)
+	if _, err := vl.DependsOn(lh, lv); err == nil {
+		t.Fatalf("DependsOn must report an error for items hidden by the view")
+	}
+}

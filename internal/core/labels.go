@@ -1,0 +1,110 @@
+// Package core implements FVL, the view-adaptive dynamic labeling scheme of
+// the paper (Sections 4.1-4.5): data items of a run are labeled online, as
+// they are produced, with compact labels derived from the compressed parse
+// tree of the derivation; views are labeled statically with the reachability
+// matrices {λ*(S), I, O, Z}; and a decoding predicate combines two data
+// labels with one view label to answer "does d2 depend on d1 w.r.t. this
+// view?" in constant time.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EdgeLabel identifies one edge of the compressed parse tree (Section 4.2.2).
+// A non-recursive edge is identified by the production-graph edge (K, I): the
+// child is the I-th right-hand-side node of production K. A recursive edge
+// belongs to a recursive node that unfolds cycle S of the production graph
+// starting from its T-th edge; the child is the I-th unfolded composite
+// module.
+type EdgeLabel struct {
+	Recursive bool
+	K         int // production index (non-recursive form)
+	S         int // cycle index (recursive form)
+	T         int // starting edge within the cycle (recursive form)
+	I         int // child position (both forms, 1-based)
+}
+
+// NonRecursiveEdge builds a (k, i) edge label.
+func NonRecursiveEdge(k, i int) EdgeLabel { return EdgeLabel{K: k, I: i} }
+
+// RecursiveEdge builds an (s, t, i) edge label.
+func RecursiveEdge(s, t, i int) EdgeLabel { return EdgeLabel{Recursive: true, S: s, T: t, I: i} }
+
+// String renders the label as "(k,i)" or "(s,t,i)".
+func (e EdgeLabel) String() string {
+	if e.Recursive {
+		return fmt.Sprintf("(%d,%d,%d)", e.S, e.T, e.I)
+	}
+	return fmt.Sprintf("(%d,%d)", e.K, e.I)
+}
+
+// PortLabel is the label of an input or output port of the run: the sequence
+// of edge labels on the path from the root of the compressed parse tree to
+// the node at which the port was first created, followed by the port index at
+// that node (Section 4.2.2).
+type PortLabel struct {
+	Path []EdgeLabel
+	Port int
+}
+
+// Clone returns a deep copy.
+func (p *PortLabel) Clone() *PortLabel {
+	if p == nil {
+		return nil
+	}
+	return &PortLabel{Path: append([]EdgeLabel(nil), p.Path...), Port: p.Port}
+}
+
+// String renders the label as "{(1,3),(1,1,5),2}".
+func (p *PortLabel) String() string {
+	if p == nil {
+		return "-"
+	}
+	parts := make([]string, 0, len(p.Path)+1)
+	for _, e := range p.Path {
+		parts = append(parts, e.String())
+	}
+	parts = append(parts, fmt.Sprintf("%d", p.Port))
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// DataLabel is the label φr(d) of a data item d = (o, i): the pair of the
+// producing output port's label and the consuming input port's label. Initial
+// inputs of the run have Out == nil; final outputs have In == nil.
+type DataLabel struct {
+	Out *PortLabel
+	In  *PortLabel
+}
+
+// Clone returns a deep copy.
+func (d *DataLabel) Clone() *DataLabel {
+	if d == nil {
+		return nil
+	}
+	return &DataLabel{Out: d.Out.Clone(), In: d.In.Clone()}
+}
+
+// IsInitialInput reports whether the label belongs to an initial input of the
+// run (no producing port).
+func (d *DataLabel) IsInitialInput() bool { return d.Out == nil && d.In != nil }
+
+// IsFinalOutput reports whether the label belongs to a final output of the
+// run (no consuming port).
+func (d *DataLabel) IsFinalOutput() bool { return d.Out != nil && d.In == nil }
+
+// String renders the label as "(out, in)".
+func (d *DataLabel) String() string {
+	return fmt.Sprintf("(%s, %s)", d.Out.String(), d.In.String())
+}
+
+// commonPrefixLen returns the number of leading edge labels shared by the two
+// paths; the codec factors this prefix out (Section 4.2.2).
+func commonPrefixLen(a, b []EdgeLabel) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

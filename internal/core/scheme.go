@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/prodgraph"
+	"repro/internal/workflow"
+)
+
+// Scheme is the view-adaptive dynamic labeling scheme (φr, φv, π) for one
+// strictly linear-recursive workflow specification. It holds the static
+// preprocessing of Section 4.1: the production graph with its (k, i) edge
+// numbering and the fixed enumeration of its vertex-disjoint cycles.
+type Scheme struct {
+	Spec   *workflow.Specification
+	Graph  *prodgraph.Graph
+	Cycles []prodgraph.Cycle
+
+	// basic marks a scheme built by NewSchemeBasic: runs are labeled with the
+	// basic parse tree (no recursive nodes), which works for every safe
+	// specification but yields labels whose length grows with the nesting
+	// depth of the run (Theorem 1) instead of logarithmically (Theorem 8).
+	basic bool
+
+	codec *Codec
+}
+
+// NewScheme validates the specification, builds the production graph and
+// fixes the cycle enumeration. It fails when the grammar is not strictly
+// linear-recursive, because compact dynamic labeling is then impossible in
+// general (Theorems 5 and 6); see NewSchemeBasic for the fallback that trades
+// compactness for generality.
+func NewScheme(spec *workflow.Specification) (*Scheme, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pg := prodgraph.New(spec.Grammar)
+	if !pg.IsStrictlyLinearRecursive() {
+		return nil, fmt.Errorf("core: the grammar is not strictly linear-recursive; compact dynamic labeling is not possible (Theorem 6)")
+	}
+	cycles, err := pg.Cycles()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheme{Spec: spec, Graph: pg, Cycles: cycles}
+	s.codec = NewCodec(s)
+	return s, nil
+}
+
+// NewSchemeBasic builds the fallback scheme of Theorem 1: runs are labeled
+// with basic parse trees, so the scheme applies to every safe specification
+// (including grammars that are not strictly linear-recursive) at the price of
+// data labels whose length is proportional to the nesting depth of the run.
+// Views are still labeled and decoded exactly as in the compact scheme.
+func NewSchemeBasic(spec *workflow.Specification) (*Scheme, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pg := prodgraph.New(spec.Grammar)
+	s := &Scheme{Spec: spec, Graph: pg, basic: true}
+	s.codec = NewCodec(s)
+	return s, nil
+}
+
+// IsBasic reports whether the scheme labels runs with basic (uncompressed)
+// parse trees.
+func (s *Scheme) IsBasic() bool { return s.basic }
+
+// Codec returns the bit-level codec for this scheme's data labels.
+func (s *Scheme) Codec() *Codec { return s.codec }
+
+// Cycle returns the s-th cycle (1-based).
+func (s *Scheme) Cycle(idx int) (prodgraph.Cycle, error) {
+	if idx < 1 || idx > len(s.Cycles) {
+		return prodgraph.Cycle{}, fmt.Errorf("core: no cycle %d", idx)
+	}
+	return s.Cycles[idx-1], nil
+}
+
+// cycleOf returns the cycle index and offset of a recursive module. In basic
+// mode no module is treated as recursive, so the compressed parse tree
+// degenerates into the basic parse tree.
+func (s *Scheme) cycleOf(module string) (cycle, offset int, ok bool) {
+	if s.basic {
+		return 0, 0, false
+	}
+	return s.Graph.CycleOf(module)
+}
+
+// isRecursive reports whether the module should be placed under a recursive
+// node of the compressed parse tree.
+func (s *Scheme) isRecursive(module string) bool {
+	if s.basic {
+		return false
+	}
+	return s.Graph.IsRecursive(module)
+}
+
+// sameCycle reports whether the two modules lie on the same cycle of the
+// production graph.
+func (s *Scheme) sameCycle(a, b string) bool {
+	if s.basic {
+		return false
+	}
+	sa, _, oka := s.Graph.CycleOf(a)
+	sb, _, okb := s.Graph.CycleOf(b)
+	return oka && okb && sa == sb
+}
+
+// moduleAtCycleOffset returns the module whose outgoing cycle edge is the
+// offset-th edge (1-based, with wraparound) of cycle s.
+func (s *Scheme) moduleAtCycleOffset(cycle, offset int) (workflow.Module, error) {
+	c, err := s.Cycle(cycle)
+	if err != nil {
+		return workflow.Module{}, err
+	}
+	name := c.Modules[(offset-1)%c.Len()]
+	return s.Spec.Grammar.Modules[name], nil
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/prodgraph"
+	"repro/internal/safety"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// Variant selects how much reachability information a view label
+// materializes, trading view-labeling overhead against query time
+// (Sections 4.3 and 4.4.3 of the paper, compared experimentally in
+// Section 6.3).
+type Variant int
+
+const (
+	// VariantSpaceEfficient stores only the full dependency assignment λ*′ of
+	// the view; the reachability matrices I, O and Z are recomputed by graph
+	// search over the view of the specification at query time.
+	VariantSpaceEfficient Variant = iota
+	// VariantDefault materializes all reachability matrices for I, O and Z;
+	// recursion chains are resolved at query time by divide-and-conquer
+	// matrix powers.
+	VariantDefault
+	// VariantQueryEfficient additionally materializes, for every recursion of
+	// the view, the prefix products and the eventually-periodic powers of the
+	// cycle matrix, so recursion chains are resolved in constant time.
+	VariantQueryEfficient
+)
+
+// String names the variant as used in the experiment reports.
+func (v Variant) String() string {
+	switch v {
+	case VariantSpaceEfficient:
+		return "space-efficient"
+	case VariantDefault:
+		return "default"
+	case VariantQueryEfficient:
+		return "query-efficient"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// recChain caches, for one cycle of the production graph and one starting
+// offset, the prefix products of the I (or O) matrices along the cycle and
+// the eventually-periodic powers of the full-cycle product. With it, the
+// product of any number of consecutive cycle matrices is available in
+// constant time (Section 4.4.3).
+type recChain struct {
+	prefixes []*boolmat.Matrix // prefixes[r] = product of the first r matrices
+	period   *boolmat.PowerPeriod
+}
+
+// product returns the product of the first n >= 0 matrices of the chain.
+func (rc *recChain) product(n int) *boolmat.Matrix {
+	l := len(rc.prefixes) - 1 // cycle length
+	if n < l {
+		return rc.prefixes[n]
+	}
+	q, r := n/l, n%l
+	x := rc.period.Power(q)
+	if r == 0 {
+		return x
+	}
+	return x.Mul(rc.prefixes[r])
+}
+
+// ViewLabel is φv(U): the static label of one safe view, consisting of the
+// induced dependencies λ*(S) of the start module and the reachability
+// functions I, O and Z of Section 4.3 (materialized or not, depending on the
+// variant). A view label is combined with two data labels by DependsOn to
+// answer reachability queries over the view.
+type ViewLabel struct {
+	scheme  *Scheme
+	view    *view.View
+	variant Variant
+
+	start    *boolmat.Matrix // λ*(S)
+	included map[int]bool    // 1-based production indices of G_∆′
+
+	// Materialized functions (VariantDefault and VariantQueryEfficient).
+	iMat map[[2]int]*boolmat.Matrix
+	oMat map[[2]int]*boolmat.Matrix
+	zMat map[[3]int]*boolmat.Matrix
+
+	// Full dependency assignment λ*′ (always kept; it is the entire payload of
+	// VariantSpaceEfficient and the fallback for on-the-fly computation).
+	full workflow.DependencyAssignment
+
+	// Per-(cycle, offset) recursion caches (VariantQueryEfficient only).
+	inRec  map[[2]int]*recChain
+	outRec map[[2]int]*recChain
+
+	// closureCache caches on-the-fly closures for VariantSpaceEfficient so a
+	// single query does not recompute the same production twice; it is reset
+	// at the start of every query to keep the variant honest about its cost.
+	closureCache map[int]*safety.Closure
+
+	// matrixFree enables the short-circuited decoding of Section 6.4
+	// (Matrix-Free FVL), which avoids multiplying complete or empty matrices.
+	matrixFree bool
+}
+
+// WithMatrixFree returns a copy of the view label whose decoding
+// short-circuits products involving complete or empty reachability matrices
+// (the Matrix-Free FVL of Section 6.4). The optimization is always correct;
+// it pays off on coarse-grained views, where most matrices are complete.
+func (vl *ViewLabel) WithMatrixFree() *ViewLabel {
+	c := *vl
+	c.matrixFree = true
+	return &c
+}
+
+// LabelView computes φv(U) for a safe view over the scheme's specification
+// (Section 4.3). It fails when the view belongs to a different specification
+// or is unsafe.
+func (s *Scheme) LabelView(v *view.View, variant Variant) (*ViewLabel, error) {
+	if v.Spec != s.Spec {
+		return nil, fmt.Errorf("core: view %q is defined over a different specification", v.Name)
+	}
+	if !v.IsSafe() {
+		return nil, fmt.Errorf("core: view %q is unsafe: %w", v.Name, v.SafetyError())
+	}
+	full, err := v.FullAssignment()
+	if err != nil {
+		return nil, err
+	}
+	start, err := v.StartDeps()
+	if err != nil {
+		return nil, err
+	}
+	vl := &ViewLabel{
+		scheme:   s,
+		view:     v,
+		variant:  variant,
+		start:    start.Clone(),
+		included: map[int]bool{},
+		full:     full,
+	}
+	for k := 1; k <= len(s.Spec.Grammar.Productions); k++ {
+		if v.IncludesProduction(k) {
+			vl.included[k] = true
+		}
+	}
+	if variant == VariantSpaceEfficient {
+		return vl, nil
+	}
+
+	closures, err := v.Closures()
+	if err != nil {
+		return nil, err
+	}
+	vl.iMat = map[[2]int]*boolmat.Matrix{}
+	vl.oMat = map[[2]int]*boolmat.Matrix{}
+	vl.zMat = map[[3]int]*boolmat.Matrix{}
+	for k := range vl.included {
+		cl, ok := closures[k]
+		if !ok {
+			// The production is included but not derivable in the view; its
+			// matrices are never needed by visible data labels.
+			continue
+		}
+		p := s.Spec.Grammar.Productions[k-1]
+		n := len(p.RHS.Nodes)
+		for i := 1; i <= n; i++ {
+			vl.iMat[[2]int{k, i}] = cl.InputsTo(i - 1)
+			vl.oMat[[2]int{k, i}] = cl.OutputsTo(i - 1)
+		}
+		for i := 1; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				vl.zMat[[3]int{k, i, j}] = cl.Between(i-1, j-1)
+			}
+		}
+	}
+	if variant == VariantQueryEfficient {
+		if err := vl.buildRecursionCaches(); err != nil {
+			return nil, err
+		}
+	}
+	return vl, nil
+}
+
+// buildRecursionCaches materializes, for every cycle of the production graph
+// that survives in the view and every starting offset, the prefix products
+// and the periodic powers of the I and O matrices along the cycle.
+func (vl *ViewLabel) buildRecursionCaches() error {
+	vl.inRec = map[[2]int]*recChain{}
+	vl.outRec = map[[2]int]*recChain{}
+	for _, c := range vl.scheme.Cycles {
+		if !vl.cycleIncluded(c) {
+			continue
+		}
+		for t := 1; t <= c.Len(); t++ {
+			in, err := vl.buildChain(c, t, false)
+			if err != nil {
+				return err
+			}
+			out, err := vl.buildChain(c, t, true)
+			if err != nil {
+				return err
+			}
+			vl.inRec[[2]int{c.Index, t}] = in
+			vl.outRec[[2]int{c.Index, t}] = out
+		}
+	}
+	return nil
+}
+
+func (vl *ViewLabel) cycleIncluded(c prodgraph.Cycle) bool {
+	for _, e := range c.Edges {
+		if !vl.included[e.K] {
+			return false
+		}
+	}
+	return true
+}
+
+func (vl *ViewLabel) buildChain(c prodgraph.Cycle, t int, outputs bool) (*recChain, error) {
+	l := c.Len()
+	mod, err := vl.scheme.moduleAtCycleOffset(c.Index, t)
+	if err != nil {
+		return nil, err
+	}
+	dim := mod.In
+	get := vl.edgeI
+	if outputs {
+		dim = mod.Out
+		get = vl.edgeO
+	}
+	prefixes := make([]*boolmat.Matrix, l+1)
+	prefixes[0] = boolmat.Identity(dim)
+	for r := 1; r <= l; r++ {
+		e := c.EdgeAt(t + r - 1)
+		m, err := get(e.K, e.I)
+		if err != nil {
+			return nil, err
+		}
+		prefixes[r] = prefixes[r-1].Mul(m)
+	}
+	return &recChain{prefixes: prefixes, period: boolmat.FindPeriod(prefixes[l])}, nil
+}
+
+// View returns the view the label was computed for.
+func (vl *ViewLabel) View() *view.View { return vl.view }
+
+// Variant returns the label's variant.
+func (vl *ViewLabel) Variant() Variant { return vl.variant }
+
+// StartDeps returns λ*(S), the induced dependency matrix of the start module
+// under the view.
+func (vl *ViewLabel) StartDeps() *boolmat.Matrix { return vl.start.Clone() }
+
+// edgeI returns I(k, i): the reachability matrix from the inputs of the
+// left-hand side of production k to the inputs of its i-th right-hand-side
+// node, under the view's full dependency assignment.
+func (vl *ViewLabel) edgeI(k, i int) (*boolmat.Matrix, error) {
+	if !vl.included[k] {
+		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	if vl.iMat != nil {
+		if m, ok := vl.iMat[[2]int{k, i}]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: I(%d,%d) is undefined in view %q", k, i, vl.view.Name)
+	}
+	cl, err := vl.closureFor(k)
+	if err != nil {
+		return nil, err
+	}
+	return cl.InputsTo(i - 1), nil
+}
+
+// edgeO returns O(k, i): the reversed reachability matrix from the outputs of
+// the left-hand side of production k to the outputs of its i-th node.
+func (vl *ViewLabel) edgeO(k, i int) (*boolmat.Matrix, error) {
+	if !vl.included[k] {
+		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	if vl.oMat != nil {
+		if m, ok := vl.oMat[[2]int{k, i}]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: O(%d,%d) is undefined in view %q", k, i, vl.view.Name)
+	}
+	cl, err := vl.closureFor(k)
+	if err != nil {
+		return nil, err
+	}
+	return cl.OutputsTo(i - 1), nil
+}
+
+// edgeZ returns Z(k, i, j): the reachability matrix from the outputs of the
+// i-th node of production k to the inputs of its j-th node. For i >= j the
+// matrix is empty.
+func (vl *ViewLabel) edgeZ(k, i, j int) (*boolmat.Matrix, error) {
+	if !vl.included[k] {
+		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	p := vl.scheme.Spec.Grammar.Productions[k-1]
+	mi := vl.scheme.Spec.Grammar.Modules[p.RHS.Nodes[i-1]]
+	mj := vl.scheme.Spec.Grammar.Modules[p.RHS.Nodes[j-1]]
+	if i >= j {
+		return boolmat.New(mi.Out, mj.In), nil
+	}
+	if vl.zMat != nil {
+		if m, ok := vl.zMat[[3]int{k, i, j}]; ok {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: Z(%d,%d,%d) is undefined in view %q", k, i, j, vl.view.Name)
+	}
+	cl, err := vl.closureFor(k)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Between(i-1, j-1), nil
+}
+
+// closureFor computes (and caches for the duration of one query) the port
+// closure of a production's right-hand side under λ*′. This is the
+// graph-search path of VariantSpaceEfficient.
+func (vl *ViewLabel) closureFor(k int) (*safety.Closure, error) {
+	if cl, ok := vl.closureCache[k]; ok {
+		return cl, nil
+	}
+	p := vl.scheme.Spec.Grammar.Productions[k-1]
+	cl, err := safety.NewClosure(vl.scheme.Spec.Grammar, p.RHS, vl.full)
+	if err != nil {
+		return nil, err
+	}
+	if vl.closureCache == nil {
+		vl.closureCache = map[int]*safety.Closure{}
+	}
+	vl.closureCache[k] = cl
+	return cl, nil
+}
+
+// resetQueryState drops per-query caches so the space-efficient variant pays
+// its graph-search cost on every query, as in the paper's experiments.
+func (vl *ViewLabel) resetQueryState() {
+	if vl.variant == VariantSpaceEfficient {
+		vl.closureCache = nil
+	}
+}
+
+// Inputs implements procedure Inputs of Algorithm 1: given an edge label of
+// the compressed parse tree, it returns the reachability matrix from the
+// inputs of the edge's parent module (for recursive edges, the first unfolded
+// module of the recursion) to the inputs of the edge's child module.
+func (vl *ViewLabel) Inputs(e EdgeLabel) (*boolmat.Matrix, error) {
+	if !e.Recursive {
+		return vl.edgeI(e.K, e.I)
+	}
+	return vl.recursionChain(e, vl.edgeI, vl.inRec, false)
+}
+
+// Outputs is the output-port counterpart of Inputs: it returns the reversed
+// reachability matrix from the outputs of the edge's parent module to the
+// outputs of the edge's child module.
+func (vl *ViewLabel) Outputs(e EdgeLabel) (*boolmat.Matrix, error) {
+	if !e.Recursive {
+		return vl.edgeO(e.K, e.I)
+	}
+	return vl.recursionChain(e, vl.edgeO, vl.outRec, true)
+}
+
+// recursionChain resolves a recursive edge label (s, t, i): the product of
+// the i-1 cycle matrices starting at offset t of cycle s.
+func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Matrix, error), cache map[[2]int]*recChain, outputs bool) (*boolmat.Matrix, error) {
+	c, err := vl.scheme.Cycle(e.S)
+	if err != nil {
+		return nil, err
+	}
+	n := e.I - 1 // number of matrices in the chain
+	if n < 0 {
+		return nil, fmt.Errorf("core: recursive edge %v has child position < 1", e)
+	}
+
+	// Constant-time path: the cached prefix products and periodic powers.
+	if cache != nil {
+		if rc, ok := cache[[2]int{e.S, e.T}]; ok {
+			return rc.product(n), nil
+		}
+	}
+
+	mod, err := vl.scheme.moduleAtCycleOffset(e.S, e.T)
+	if err != nil {
+		return nil, err
+	}
+	dim := mod.In
+	if outputs {
+		dim = mod.Out
+	}
+	if n == 0 {
+		return boolmat.Identity(dim), nil
+	}
+
+	l := c.Len()
+	// Base matrices of one full turn around the cycle, starting at offset t.
+	block := make([]*boolmat.Matrix, 0, l)
+	for a := 0; a < l && a < n; a++ {
+		edge := c.EdgeAt(e.T + a)
+		m, err := get(edge.K, edge.I)
+		if err != nil {
+			return nil, err
+		}
+		block = append(block, m)
+	}
+	if n <= l {
+		return boolmat.Product(block...), nil
+	}
+	// n > l: X^q times the first r block matrices, where X is the product of
+	// one full turn (divide-and-conquer power, O(log n) multiplications).
+	x := boolmat.Product(block...)
+	q, r := n/l, n%l
+	result := x.Pow(q)
+	for a := 0; a < r; a++ {
+		result = result.Mul(block[a])
+	}
+	return result, nil
+}
+
+// Visible reports whether a data item with the given label is visible in the
+// view of a run: every production referenced by the label's paths (directly
+// by a (k, i) edge or through the unfolding of a recursion) must belong to
+// the restricted grammar G_∆′ (Section 5, data-visibility check).
+func (vl *ViewLabel) Visible(d *DataLabel) bool {
+	return vl.pathVisible(pathOf(d.Out)) && vl.pathVisible(pathOf(d.In))
+}
+
+func pathOf(p *PortLabel) []EdgeLabel {
+	if p == nil {
+		return nil
+	}
+	return p.Path
+}
+
+func (vl *ViewLabel) pathVisible(path []EdgeLabel) bool {
+	for _, e := range path {
+		if !e.Recursive {
+			if !vl.included[e.K] {
+				return false
+			}
+			continue
+		}
+		c, err := vl.scheme.Cycle(e.S)
+		if err != nil {
+			return false
+		}
+		// Children 2..I of the recursive node were created by the cycle
+		// productions at offsets T .. T+I-2.
+		for a := 0; a < e.I-1 && a < c.Len(); a++ {
+			if !vl.included[c.EdgeAt(e.T+a).K] {
+				return false
+			}
+		}
+		if e.I-1 > c.Len() {
+			// More than one full turn around the cycle: every cycle production
+			// is involved.
+			for _, ce := range c.Edges {
+				if !vl.included[ce.K] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SizeBits returns the size of the view label in bits under the chosen
+// variant, the measure reported by the Figure 19 experiment: one bit per
+// materialized matrix entry (λ*′ for the space-efficient variant; λ*(S), I,
+// O and Z for the default variant; plus the recursion caches for the
+// query-efficient variant).
+func (vl *ViewLabel) SizeBits() int {
+	total := 0
+	switch vl.variant {
+	case VariantSpaceEfficient:
+		for _, m := range vl.full {
+			total += m.Rows() * m.Cols()
+		}
+	case VariantDefault, VariantQueryEfficient:
+		total += vl.start.Rows() * vl.start.Cols()
+		for _, m := range vl.iMat {
+			total += m.Rows() * m.Cols()
+		}
+		for _, m := range vl.oMat {
+			total += m.Rows() * m.Cols()
+		}
+		for _, m := range vl.zMat {
+			total += m.Rows() * m.Cols()
+		}
+		if vl.variant == VariantQueryEfficient {
+			for _, rc := range vl.inRec {
+				for _, m := range rc.prefixes {
+					total += m.Rows() * m.Cols()
+				}
+				total += rc.period.SizeBits()
+			}
+			for _, rc := range vl.outRec {
+				for _, m := range rc.prefixes {
+					total += m.Rows() * m.Cols()
+				}
+				total += rc.period.SizeBits()
+			}
+		}
+	}
+	return total
+}

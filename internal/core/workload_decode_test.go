@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// TestDecodeMatchesOracleOnBioAID exercises the full pipeline on the workload
+// that drives the paper's main experiments: random runs of the BioAID-like
+// grammar, random grey-box and black-box views of several sizes, all three
+// view-label variants.
+func TestDecodeMatchesOracleOnBioAID(t *testing.T) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 31, 800)
+
+	rng := rand.New(rand.NewSource(32))
+	views := []*view.View{view.Default(spec)}
+	for _, n := range []int{2, 8, 16} {
+		for _, mode := range []workloads.DependencyMode{workloads.GreyBox, workloads.BlackBox} {
+			v, err := workloads.RandomView(spec, workloads.ViewOptions{
+				Name:       fmt.Sprintf("%v-%d", mode, n),
+				Composites: n,
+				Mode:       mode,
+				Rand:       rng,
+			})
+			if err != nil {
+				t.Fatalf("view %v-%d: %v", mode, n, err)
+			}
+			views = append(views, v)
+		}
+	}
+	for _, v := range views {
+		for _, variant := range allVariants {
+			pairs := 400
+			if variant == core.VariantQueryEfficient {
+				pairs = 4000
+			}
+			vl, err := scheme.LabelView(v, variant)
+			if err != nil {
+				t.Fatalf("labeling %q (%v): %v", v.Name, variant, err)
+			}
+			t.Run(fmt.Sprintf("%s/%v", v.Name, variant), func(t *testing.T) {
+				checkAgainstOracle(t, vl, labeler, r, v, pairs, 33)
+			})
+		}
+	}
+}
+
+// TestDecodeMatchesOracleOnSynthetic covers the synthetic family of Figure 26
+// across its four parameters, including deep nesting and longer recursions.
+func TestDecodeMatchesOracleOnSynthetic(t *testing.T) {
+	base := workloads.DefaultSyntheticParams()
+	base.WorkflowSize = 8 // keep runs small enough for exhaustive oracle checks
+
+	cases := []workloads.SyntheticParams{base}
+	deep := base
+	deep.NestingDepth = 6
+	cases = append(cases, deep)
+	long := base
+	long.RecursionLength = 3
+	cases = append(cases, long)
+	wide := base
+	wide.ModuleDegree = 6
+	cases = append(cases, wide)
+
+	for ci, params := range cases {
+		params := params
+		t.Run(params.String(), func(t *testing.T) {
+			spec := workloads.Synthetic(params)
+			scheme, err := core.NewScheme(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := workloads.DeepRun(spec, workloads.RunOptions{TargetSize: 400, Rand: rand.New(rand.NewSource(int64(50 + ci)))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			labeler, err := scheme.LabelRun(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(60 + ci)))
+			views := []*view.View{view.Default(spec)}
+			v, err := workloads.RandomView(spec, workloads.ViewOptions{
+				Name:       "grey",
+				Composites: params.NestingDepth * params.RecursionLength / 2,
+				Mode:       workloads.GreyBox,
+				Rand:       rng,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, v)
+			for _, v := range views {
+				vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+				if err != nil {
+					t.Fatalf("labeling %q: %v", v.Name, err)
+				}
+				checkAgainstOracle(t, vl, labeler, r, v, 3000, int64(70+ci))
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+// Package drl implements the baseline the paper compares against (Section 6):
+// a per-view dynamic labeling scheme in the spirit of "Labeling Recursive
+// Workflow Executions On-the-Fly" (Bao, Davidson, Milo, SIGMOD 2011).
+//
+// DRL differs from the view-adaptive FVL scheme of package core in one
+// architectural respect that drives the multi-view experiments (Figures
+// 21-23): its labels are computed for one particular view. The view of a run
+// is materialized (the expansion is cut off at modules the view hides) and
+// every visible data item receives a label that is only meaningful together
+// with that view's static index. Consequently, when q views are defined over
+// the same workflow, every data item carries q labels and is labeled q times,
+// whereas FVL labels it once.
+//
+// DRL targets the coarse-grained provenance model: the perceived dependencies
+// of the view's atomic modules are black boxes (every output depends on every
+// input), which is how the original system modeled provenance. The
+// implementation reuses the compressed-parse-tree machinery of package core,
+// applied to the restricted grammar of the view, and decodes with the
+// matrix-free short cuts that boolean (black-box) reachability allows; this
+// reproduces DRL's published characteristics — compact (logarithmic) labels
+// for linear-recursive grammars, constant query time, per-view index —
+// without claiming to be a line-by-line port of the original encoding.
+package drl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// Labeler labels the projection of runs onto one view, online. It implements
+// run.Observer, so it can be attached to a run before or during derivation
+// and assigns a label to every visible data item as soon as it is produced.
+type Labeler struct {
+	// View is the view the labels are valid for.
+	View *view.View
+	// Restricted is the view treated as a specification in its own right: the
+	// grammar keeps only the productions of expandable composite modules and
+	// the dependency assignment is the view's λ′.
+	Restricted *workflow.Specification
+
+	scheme    *core.Scheme
+	viewLabel *core.ViewLabel
+
+	projected *run.Run
+	labeler   *core.RunLabeler
+
+	instMap map[int]int // original instance ID -> projected instance ID
+	itemMap map[int]int // original data item ID -> projected data item ID
+	prodMap map[int]int // original production index -> restricted production index
+}
+
+// New builds the per-view labeling machinery for a view: the restricted
+// specification, its labeling scheme, and the static per-view index used at
+// query time. It fails when the restricted grammar is not proper, not
+// strictly linear-recursive, or unsafe under the view's dependencies.
+func New(v *view.View) (*Labeler, error) {
+	restricted, prodMap, err := restrictedSpecification(v)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.NewScheme(restricted)
+	if err != nil {
+		return nil, fmt.Errorf("drl: view %q: %w", v.Name, err)
+	}
+	vl, err := scheme.LabelView(view.Default(restricted), core.VariantQueryEfficient)
+	if err != nil {
+		return nil, fmt.Errorf("drl: view %q: %w", v.Name, err)
+	}
+	return &Labeler{
+		View:       v,
+		Restricted: restricted,
+		scheme:     scheme,
+		viewLabel:  vl.WithMatrixFree(),
+		instMap:    map[int]int{},
+		itemMap:    map[int]int{},
+		prodMap:    prodMap,
+	}, nil
+}
+
+// restrictedSpecification materializes the view as a standalone specification
+// G_U = (G_∆′)^λ′ and returns the mapping from original to restricted
+// production indices.
+func restrictedSpecification(v *view.View) (*workflow.Specification, map[int]int, error) {
+	g := v.Spec.Grammar
+	restricted := &workflow.Grammar{
+		Modules: map[string]workflow.Module{},
+		Start:   g.Start,
+	}
+	// Only the modules reachable in the view belong to the restricted
+	// grammar; modules hidden behind excluded composites (and therefore
+	// lacking a λ′ entry) are dropped.
+	for name := range v.ReachableModules() {
+		restricted.Modules[name] = g.Modules[name]
+	}
+	prodMap := map[int]int{}
+	for k := 1; k <= len(g.Productions); k++ {
+		if !v.IncludesProduction(k) {
+			continue
+		}
+		p := g.Productions[k-1]
+		restricted.Productions = append(restricted.Productions, workflow.Production{LHS: p.LHS, RHS: p.RHS.Clone()})
+		prodMap[k] = len(restricted.Productions)
+	}
+	deps := workflow.DependencyAssignment{}
+	for _, name := range v.ViewAtomicModules() {
+		m, ok := v.Deps[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("drl: view %q defines no dependencies for module %q", v.Name, name)
+		}
+		deps[name] = m.Clone()
+	}
+	spec, err := workflow.NewSpecification(restricted, deps)
+	if err != nil {
+		return nil, nil, fmt.Errorf("drl: view %q does not induce a proper specification: %w", v.Name, err)
+	}
+	return spec, prodMap, nil
+}
+
+// OnInit creates the projected run (the view of the original run) and labels
+// its initial inputs and final outputs.
+func (l *Labeler) OnInit(r *run.Run) error {
+	if r.Spec != l.View.Spec {
+		return fmt.Errorf("drl: run was derived from a different specification than view %q", l.View.Name)
+	}
+	l.projected = run.New(l.Restricted)
+	l.labeler = l.scheme.NewRunLabeler()
+	if err := l.projected.AddObserver(l.labeler); err != nil {
+		return err
+	}
+	l.instMap[0] = 0
+	// The initial items of the original run and of the projected run are
+	// created in the same order (inputs of the start module, then outputs).
+	var originalInitial []int
+	for _, item := range r.Items {
+		if item.Step == 0 {
+			originalInitial = append(originalInitial, item.ID)
+		}
+	}
+	if len(originalInitial) != len(l.projected.Items) {
+		return fmt.Errorf("drl: start module arity mismatch between run and view %q", l.View.Name)
+	}
+	for i, id := range originalInitial {
+		l.itemMap[id] = l.projected.Items[i].ID
+	}
+	return nil
+}
+
+// OnStep mirrors visible derivation steps onto the projected run. Steps that
+// expand a module the view hides (or descendants of such a module) are
+// ignored: their data items stay unlabeled, exactly as the view hides them.
+func (l *Labeler) OnStep(r *run.Run, s *run.Step) error {
+	projInst, visible := l.instMap[s.Instance]
+	if !visible {
+		return nil
+	}
+	inst, _ := r.Instance(s.Instance)
+	if !l.View.IsExpandable(inst.Module) {
+		return nil
+	}
+	k, ok := l.prodMap[s.Prod]
+	if !ok {
+		return fmt.Errorf("drl: step %d applies production %d which view %q excludes", s.Index, s.Prod, l.View.Name)
+	}
+	step, err := l.projected.Apply(projInst, k)
+	if err != nil {
+		return fmt.Errorf("drl: mirroring step %d onto view %q: %w", s.Index, l.View.Name, err)
+	}
+	if len(step.NewInstances) != len(s.NewInstances) || len(step.NewItems) != len(s.NewItems) {
+		return fmt.Errorf("drl: projected step %d diverged from the original derivation", s.Index)
+	}
+	for i, id := range s.NewInstances {
+		l.instMap[id] = step.NewInstances[i]
+	}
+	for i, id := range s.NewItems {
+		l.itemMap[id] = step.NewItems[i]
+	}
+	return nil
+}
+
+var _ run.Observer = (*Labeler)(nil)
+
+// LabelRun is a convenience helper that labels an already-derived run by
+// replaying its derivation.
+func LabelRun(v *view.View, r *run.Run) (*Labeler, error) {
+	l, err := New(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.OnInit(r); err != nil {
+		return nil, err
+	}
+	for i := range r.Steps {
+		if err := l.OnStep(r, &r.Steps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Visible reports whether the original data item received a label, i.e. is
+// visible in the view of the run.
+func (l *Labeler) Visible(originalItemID int) bool {
+	_, ok := l.itemMap[originalItemID]
+	return ok
+}
+
+// Label returns the per-view label of an original data item, or false when
+// the item is hidden by the view.
+func (l *Labeler) Label(originalItemID int) (*core.DataLabel, bool) {
+	projID, ok := l.itemMap[originalItemID]
+	if !ok {
+		return nil, false
+	}
+	return l.labeler.Label(projID)
+}
+
+// Count returns the number of labeled (visible) data items.
+func (l *Labeler) Count() int { return len(l.itemMap) }
+
+// DependsOn answers a reachability query from two per-view labels.
+func (l *Labeler) DependsOn(d1, d2 *core.DataLabel) (bool, error) {
+	return l.viewLabel.DependsOn(d1, d2)
+}
+
+// DependsOnItems answers a reachability query for two original data items.
+func (l *Labeler) DependsOnItems(d1, d2 int) (bool, error) {
+	l1, ok := l.Label(d1)
+	if !ok {
+		return false, fmt.Errorf("drl: data item %d is not visible in view %q", d1, l.View.Name)
+	}
+	l2, ok := l.Label(d2)
+	if !ok {
+		return false, fmt.Errorf("drl: data item %d is not visible in view %q", d2, l.View.Name)
+	}
+	return l.DependsOn(l1, l2)
+}
+
+// SizeBits returns the encoded length of a per-view label in bits.
+func (l *Labeler) SizeBits(d *core.DataLabel) int {
+	return l.scheme.Codec().SizeBits(d)
+}
+
+// IndexSizeBits returns the size of the per-view static index in bits; it
+// plays the role of the view label in the space accounting of Section 6.
+func (l *Labeler) IndexSizeBits() int { return l.viewLabel.SizeBits() }

@@ -1,0 +1,205 @@
+package drl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/drl"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func mustRun(t *testing.T, spec *workflow.Specification, size int, seed int64) *run.Run {
+	t.Helper()
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: size, Rand: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDRLMatchesOracleOnBlackBoxViews(t *testing.T) {
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 120, 1)
+
+	rng := rand.New(rand.NewSource(2))
+	for n := 2; n <= 6; n += 2 {
+		v, err := workloads.RandomView(spec, workloads.ViewOptions{
+			Name:       fmt.Sprintf("bb-%d", n),
+			Composites: n,
+			Mode:       workloads.BlackBox,
+			Rand:       rng,
+		})
+		if err != nil {
+			t.Fatalf("black-box view with %d composites: %v", n, err)
+		}
+		labeler, err := drl.LabelRun(v, r)
+		if err != nil {
+			t.Fatalf("DRL labeling for %q: %v", v.Name, err)
+		}
+		proj, err := run.Project(r, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visible := proj.VisibleItems()
+		if labeler.Count() != len(visible) {
+			t.Fatalf("DRL labeled %d items, projection has %d visible items", labeler.Count(), len(visible))
+		}
+		for _, d1 := range visible {
+			for _, d2 := range visible {
+				want, err := proj.DependsOn(d1, d2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := labeler.DependsOnItems(d1, d2)
+				if err != nil {
+					t.Fatalf("DRL DependsOn(%d,%d) over %q: %v", d1, d2, v.Name, err)
+				}
+				if got != want {
+					t.Fatalf("DRL DependsOn(%d,%d) over %q = %v, oracle says %v", d1, d2, v.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDRLMatchesOracleOnDefaultViewWithFineGrainedDeps(t *testing.T) {
+	// DRL's machinery also decodes correctly when the view's dependencies are
+	// fine-grained (it simply is not how the original system was used); this
+	// exercises the restricted-specification path with λ′ = λ.
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 100, 3)
+	v := view.Default(spec)
+	labeler, err := drl.LabelRun(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := run.Project(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d1 := range proj.VisibleItems() {
+		for _, d2 := range proj.VisibleItems() {
+			want, _ := proj.DependsOn(d1, d2)
+			got, err := labeler.DependsOnItems(d1, d2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("DependsOn(%d,%d) = %v, oracle says %v", d1, d2, got, want)
+			}
+		}
+	}
+}
+
+func TestDRLHidesInvisibleItems(t *testing.T) {
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 100, 4)
+	v, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeler, err := drl.LabelRun(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := run.Project(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range r.Items {
+		if got, want := labeler.Visible(item.ID), proj.VisibleItem(item.ID); got != want {
+			t.Fatalf("Visible(%d) = %v, projection says %v", item.ID, got, want)
+		}
+		if !proj.VisibleItem(item.ID) {
+			if _, err := labeler.DependsOnItems(item.ID, 1); err == nil {
+				t.Fatalf("query on hidden item %d must fail", item.ID)
+			}
+		}
+	}
+}
+
+func TestDRLIsDynamic(t *testing.T) {
+	// Attaching the labeler before the derivation and replaying afterwards
+	// must produce identical labels, and labels must exist as soon as their
+	// item is visible.
+	spec := workloads.PaperExample()
+	v, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := drl.New(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.New(spec)
+	if err := r.AddObserver(online); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for r.Size() < 150 {
+		frontier := r.Frontier()
+		if len(frontier) == 0 {
+			break
+		}
+		inst, _ := r.Instance(frontier[rng.Intn(len(frontier))])
+		prods := spec.Grammar.ProductionsFor(inst.Module)
+		if _, err := r.Apply(inst.ID, prods[rng.Intn(len(prods))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replayed, err := drl.LabelRun(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Count() != replayed.Count() {
+		t.Fatalf("online labeler has %d labels, replayed has %d", online.Count(), replayed.Count())
+	}
+	for _, item := range r.Items {
+		a, okA := online.Label(item.ID)
+		b, okB := replayed.Label(item.ID)
+		if okA != okB {
+			t.Fatalf("visibility of item %d differs between online and replayed labeling", item.ID)
+		}
+		if okA && a.String() != b.String() {
+			t.Fatalf("item %d: online label %s != replayed label %s", item.ID, a, b)
+		}
+	}
+}
+
+func TestDRLLabelSizes(t *testing.T) {
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 2000, 5)
+	v := view.Default(spec)
+	labeler, err := drl.LabelRun(v, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBits := 0
+	for _, item := range r.Items {
+		if l, ok := labeler.Label(item.ID); ok {
+			if n := labeler.SizeBits(l); n > maxBits {
+				maxBits = n
+			}
+		}
+	}
+	if maxBits == 0 || maxBits > 512 {
+		t.Fatalf("suspicious maximum DRL label length %d bits for a 2000-item run", maxBits)
+	}
+	if labeler.IndexSizeBits() <= 0 {
+		t.Fatalf("per-view index must have positive size")
+	}
+}
+
+func TestDRLRejectsForeignRun(t *testing.T) {
+	specA := workloads.PaperExample()
+	specB := workloads.PaperExample()
+	v := view.Default(specA)
+	r := run.New(specB)
+	if _, err := drl.LabelRun(v, r); err == nil {
+		t.Fatalf("DRL must reject runs of a different specification")
+	}
+}

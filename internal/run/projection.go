@@ -1,0 +1,247 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// Projection is the view R_U of a run R under a view U: the expansion of the
+// run is cut off at modules that are not expandable in the view, and the
+// dependencies of the remaining (visible leaf) instances are taken from λ′
+// (or λ*′ for composite instances the run has not expanded yet).
+//
+// Projection also serves as the ground-truth reachability oracle the labeling
+// schemes are tested against: it materializes the visible port graph and
+// answers dependency queries by graph search.
+type Projection struct {
+	Run  *Run
+	View *view.View
+
+	// VisibleLeaves are the instances treated as atomic under the view.
+	VisibleLeaves []int
+	// interior instances are the expanded-in-view instances.
+	interior map[int]bool
+
+	leafOf map[int]int // port instance ID -> visible leaf instance owning it
+
+	adj       map[int][]int // visible port graph adjacency (port instance IDs)
+	itemCount int
+}
+
+// Project computes the view of the run. It fails when the view is unsafe (the
+// full assignment λ*′ is needed for unexpanded composite instances) or when a
+// needed dependency matrix is missing.
+func Project(r *Run, v *view.View) (*Projection, error) {
+	p := &Projection{
+		Run:      r,
+		View:     v,
+		interior: map[int]bool{},
+		leafOf:   map[int]int{},
+		adj:      map[int][]int{},
+	}
+
+	// Walk the instance tree from the root, recursing only through instances
+	// that are expandable in the view and expanded in the run.
+	var walk func(id int)
+	walk = func(id int) {
+		inst := r.Instances[id]
+		if inst.Prod != 0 && v.IsExpandable(inst.Module) {
+			p.interior[id] = true
+			for _, c := range inst.Children {
+				walk(c)
+			}
+			return
+		}
+		p.VisibleLeaves = append(p.VisibleLeaves, id)
+	}
+	walk(0)
+
+	full, err := v.FullAssignment()
+	if err != nil {
+		return nil, fmt.Errorf("run: cannot project onto view %q: %w", v.Name, err)
+	}
+
+	// Dependency edges of visible leaves.
+	for _, id := range p.VisibleLeaves {
+		inst := r.Instances[id]
+		var deps *boolmat.Matrix
+		if m, ok := v.Deps[inst.Module]; ok {
+			deps = m
+		} else if m, ok := full[inst.Module]; ok {
+			// Composite module in ∆′ that the run has not expanded yet:
+			// its perceived dependencies are the induced ones.
+			deps = m
+		} else {
+			return nil, fmt.Errorf("run: view %q defines no dependencies for module %q", v.Name, inst.Module)
+		}
+		decl := r.Spec.Grammar.Modules[inst.Module]
+		if deps.Rows() != decl.In || deps.Cols() != decl.Out {
+			return nil, fmt.Errorf("run: dependency matrix for %q has wrong dimensions", inst.Module)
+		}
+		for _, pid := range inst.Inputs {
+			p.leafOf[pid] = id
+		}
+		for _, pid := range inst.Outputs {
+			p.leafOf[pid] = id
+		}
+		for in := 0; in < decl.In; in++ {
+			for out := 0; out < decl.Out; out++ {
+				if deps.Get(in, out) {
+					p.adj[inst.Inputs[in]] = append(p.adj[inst.Inputs[in]], inst.Outputs[out])
+				}
+			}
+		}
+	}
+
+	// Data-edge edges of visible items.
+	for _, item := range r.Items {
+		if !p.visibleItem(item) {
+			continue
+		}
+		p.itemCount++
+		if item.Src >= 0 && item.Dst >= 0 {
+			p.adj[item.Src] = append(p.adj[item.Src], item.Dst)
+		}
+	}
+	return p, nil
+}
+
+func (p *Projection) visibleItem(item DataItem) bool {
+	if item.CreatedBy < 0 {
+		return true // initial inputs and final outputs of the run
+	}
+	return p.interior[item.CreatedBy]
+}
+
+// VisibleItem reports whether the data item with the given ID is visible in
+// the view of the run.
+func (p *Projection) VisibleItem(id int) bool {
+	item, ok := p.Run.Item(id)
+	if !ok {
+		return false
+	}
+	return p.visibleItem(item)
+}
+
+// VisibleItems returns the IDs of all visible data items.
+func (p *Projection) VisibleItems() []int {
+	var out []int
+	for _, item := range p.Run.Items {
+		if p.visibleItem(item) {
+			out = append(out, item.ID)
+		}
+	}
+	return out
+}
+
+// Size returns the number of visible data items.
+func (p *Projection) Size() int { return p.itemCount }
+
+// reachablePorts reports whether port instance "to" is reachable from port
+// instance "from" in the visible port graph.
+func (p *Projection) reachablePorts(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := map[int]bool{from: true}
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range p.adj[cur] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// DependsOn reports whether data item d2 depends on data item d1 with respect
+// to the view (the ground truth the decoding predicate must reproduce):
+// following the conventions of Algorithm 2, the answer is false when d1 is a
+// final output or d2 is an initial input, and otherwise it is the
+// reachability of d2's consuming port (or producing port, for final outputs)
+// from d1's producing port (or consuming port, for initial inputs) in the
+// visible port graph.
+func (p *Projection) DependsOn(d1, d2 int) (bool, error) {
+	i1, ok := p.Run.Item(d1)
+	if !ok {
+		return false, fmt.Errorf("run: no data item %d", d1)
+	}
+	i2, ok := p.Run.Item(d2)
+	if !ok {
+		return false, fmt.Errorf("run: no data item %d", d2)
+	}
+	if !p.visibleItem(i1) || !p.visibleItem(i2) {
+		return false, fmt.Errorf("run: data item %d or %d is not visible in view %q", d1, d2, p.View.Name)
+	}
+	if i1.Src >= 0 && i1.Dst < 0 {
+		return false, nil // d1 is a final output
+	}
+	if i2.Src < 0 && i2.Dst >= 0 {
+		return false, nil // d2 is an initial input
+	}
+	from := i1.Src
+	if from < 0 {
+		from = i1.Dst
+	}
+	to := i2.Dst
+	if to < 0 {
+		to = i2.Src
+	}
+	return p.reachablePorts(from, to), nil
+}
+
+// LeafInstances returns the visible leaf instance IDs (the modules the view's
+// user perceives as atomic).
+func (p *Projection) LeafInstances() []int {
+	return append([]int(nil), p.VisibleLeaves...)
+}
+
+// Workflow materializes the visible provenance graph as a simple workflow
+// whose nodes are the visible leaf instances in creation order; it is useful
+// for inspection and for exporting view projections from the CLI tools.
+func (p *Projection) Workflow() *workflow.SimpleWorkflow {
+	nodeIdx := map[int]int{}
+	w := &workflow.SimpleWorkflow{}
+	for _, id := range p.VisibleLeaves {
+		nodeIdx[id] = len(w.Nodes)
+		w.Nodes = append(w.Nodes, p.Run.Instances[id].Module)
+	}
+	for _, item := range p.Run.Items {
+		if !p.visibleItem(item) || item.Src < 0 || item.Dst < 0 {
+			continue
+		}
+		srcLeaf, okS := p.leafOf[item.Src]
+		dstLeaf, okD := p.leafOf[item.Dst]
+		if !okS || !okD {
+			continue
+		}
+		srcInst := p.Run.Instances[srcLeaf]
+		dstInst := p.Run.Instances[dstLeaf]
+		srcPort := indexOf(srcInst.Outputs, item.Src)
+		dstPort := indexOf(dstInst.Inputs, item.Dst)
+		w.Edges = append(w.Edges, workflow.DataEdge{
+			FromNode: nodeIdx[srcLeaf], FromPort: srcPort,
+			ToNode: nodeIdx[dstLeaf], ToPort: dstPort,
+		})
+	}
+	return w
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

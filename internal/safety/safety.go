@@ -1,0 +1,160 @@
+package safety
+
+import (
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/workflow"
+)
+
+// UnsafeError reports a witness of unsafety: two ways of deriving the same
+// composite module induce different dependencies between its inputs and
+// outputs (Definition 13 via Lemma 1).
+type UnsafeError struct {
+	Module     string          // the composite module with inconsistent dependencies
+	Production int             // the 1-based production index whose induced matrix conflicts
+	Got        *boolmat.Matrix // the matrix induced by Production
+	Want       *boolmat.Matrix // the matrix established earlier
+}
+
+// Error implements the error interface.
+func (e *UnsafeError) Error() string {
+	return fmt.Sprintf("safety: specification is unsafe: production %d induces dependencies %v for module %q but %v were established by another derivation",
+		e.Production, e.Got, e.Module, e.Want)
+}
+
+// Options selects which productions participate in the analysis. This is how
+// views are analyzed: a view (∆′, λ′) restricts the grammar to the
+// productions of composite modules in ∆′ and supplies λ′ as the base
+// assignment for every other module.
+type Options struct {
+	// Include reports whether the production with the given 1-based index
+	// participates. A nil Include means all productions participate.
+	Include func(prodIndex int) bool
+}
+
+func (o Options) includes(k int) bool {
+	if o.Include == nil {
+		return true
+	}
+	return o.Include(k)
+}
+
+// Result is the outcome of a successful full-assignment computation.
+type Result struct {
+	// Full is the full dependency assignment λ*: it extends the base
+	// assignment with one induced matrix per composite module that is
+	// derivable using the included productions.
+	Full workflow.DependencyAssignment
+	// Closures holds the port-level closure of each included, derivable
+	// production's right-hand side, keyed by 1-based production index and
+	// computed under λ*. These are reused to build view labels.
+	Closures map[int]*Closure
+}
+
+// FullAssignment runs the worklist algorithm of Theorem 2 on the grammar
+// restricted to the included productions, starting from the base assignment
+// (λ or λ′) for the modules that are atomic under that restriction. It
+// returns the full assignment λ* and the per-production closures, an
+// *UnsafeError if the restricted specification is unsafe, or another error if
+// a needed base dependency matrix is missing or no progress can be made
+// (which indicates an improper grammar or view).
+func FullAssignment(g *workflow.Grammar, base workflow.DependencyAssignment, opts Options) (*Result, error) {
+	// Composite modules under the restriction.
+	composite := map[string]bool{}
+	var included []int
+	for k := 1; k <= len(g.Productions); k++ {
+		if opts.includes(k) {
+			included = append(included, k)
+			composite[g.Productions[k-1].LHS] = true
+		}
+	}
+
+	full := workflow.DependencyAssignment{}
+	for name, mat := range base {
+		if composite[name] {
+			// Composite modules get their dependencies induced, not assigned.
+			continue
+		}
+		m, ok := g.Modules[name]
+		if !ok {
+			return nil, fmt.Errorf("safety: base assignment mentions unknown module %q", name)
+		}
+		if mat.Rows() != m.In || mat.Cols() != m.Out {
+			return nil, fmt.Errorf("safety: base dependency matrix for %q is %dx%d, want %dx%d",
+				name, mat.Rows(), mat.Cols(), m.In, m.Out)
+		}
+		full[name] = mat.Clone()
+	}
+
+	res := &Result{Full: full, Closures: map[int]*Closure{}}
+	verified := map[int]bool{}
+	for {
+		progressed := false
+		remaining := 0
+		for _, k := range included {
+			if verified[k] {
+				continue
+			}
+			p := g.Productions[k-1]
+			ready := true
+			for _, node := range p.RHS.Nodes {
+				if _, ok := full[node]; !ok {
+					if !composite[node] {
+						return nil, fmt.Errorf("safety: production %d uses module %q which is atomic under this restriction but has no base dependency matrix", k, node)
+					}
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				remaining++
+				continue
+			}
+			cl, err := NewClosure(g, p.RHS, full)
+			if err != nil {
+				return nil, fmt.Errorf("safety: production %d: %w", k, err)
+			}
+			induced := cl.LHSMatrix()
+			if existing, ok := full[p.LHS]; ok {
+				if !existing.Equal(induced) {
+					return nil, &UnsafeError{Module: p.LHS, Production: k, Got: induced, Want: existing}
+				}
+			} else {
+				full[p.LHS] = induced
+			}
+			res.Closures[k] = cl
+			verified[k] = true
+			progressed = true
+		}
+		if remaining == 0 && allVerified(verified, included) {
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("safety: no verifiable production remains; the (restricted) grammar is not proper")
+		}
+	}
+	return res, nil
+}
+
+func allVerified(verified map[int]bool, included []int) bool {
+	for _, k := range included {
+		if !verified[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSafe reports whether the specification is safe (Definition 13), i.e.
+// whether a full dependency assignment exists (Lemma 1).
+func IsSafe(spec *workflow.Specification) bool {
+	_, err := FullAssignment(spec.Grammar, spec.Deps, Options{})
+	return err == nil
+}
+
+// Check runs the safety analysis on a full specification and returns the
+// result or the explanatory error.
+func Check(spec *workflow.Specification) (*Result, error) {
+	return FullAssignment(spec.Grammar, spec.Deps, Options{})
+}

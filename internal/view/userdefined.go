@@ -1,0 +1,292 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workflow"
+)
+
+// Grouping describes one application of the user-defined view operation of
+// Section 5 of the paper: inside the right-hand side of one production, a set
+// of module occurrences is grouped into a new composite module whose details
+// (the grouped modules and the data edges between them) are hidden.
+type Grouping struct {
+	// Production is the 1-based index of the production whose right-hand side
+	// is rewritten.
+	Production int
+	// Nodes are the 0-based occurrence indices (within that right-hand side)
+	// that are grouped into the new module.
+	Nodes []int
+	// NewModule is the name of the composite module introduced by the
+	// grouping. It must not clash with an existing module name.
+	NewModule string
+}
+
+// GroupModules rewrites a specification according to a grouping, as in
+// Example 18 of the paper: the production M -> W is replaced by M -> W9 in
+// which the grouped occurrences are collapsed into the new composite module
+// F, and a new production F -> W10 containing exactly the grouped occurrences
+// is appended. The dependency assignment is unchanged (the new module is
+// composite, so it needs none).
+//
+// The grouped occurrences must be "convex" with respect to the data edges of
+// W: no path may leave the group and re-enter it, otherwise collapsing them
+// would create a cycle in W9; GroupModules rejects such groupings.
+//
+// The returned specification is a rewritten copy; the original specification
+// is not modified. Note that the paper labels user-defined views virtually,
+// against the original specification, so that existing data labels can be
+// reused; this implementation materializes the rewritten specification
+// instead, which is simpler and sufficient for runs labeled afterwards (the
+// trade-off is recorded in DESIGN.md).
+func GroupModules(spec *workflow.Specification, g Grouping) (*workflow.Specification, error) {
+	grammar := spec.Grammar
+	if g.Production < 1 || g.Production > len(grammar.Productions) {
+		return nil, fmt.Errorf("view: grouping references unknown production %d", g.Production)
+	}
+	if _, exists := grammar.Modules[g.NewModule]; exists {
+		return nil, fmt.Errorf("view: module %q already exists", g.NewModule)
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("view: grouping selects no occurrences")
+	}
+	prod := grammar.Productions[g.Production-1]
+	w := prod.RHS
+	inGroup := map[int]bool{}
+	for _, n := range g.Nodes {
+		if n < 0 || n >= len(w.Nodes) {
+			return nil, fmt.Errorf("view: grouping selects occurrence %d of a %d-node workflow", n, len(w.Nodes))
+		}
+		if inGroup[n] {
+			return nil, fmt.Errorf("view: grouping selects occurrence %d twice", n)
+		}
+		inGroup[n] = true
+	}
+	if len(inGroup) == len(w.Nodes) {
+		return nil, fmt.Errorf("view: grouping may not swallow the whole right-hand side")
+	}
+	if err := checkConvex(w, inGroup); err != nil {
+		return nil, err
+	}
+
+	// Build W10: the grouped occurrences and the data edges among them, in
+	// the original relative order (which keeps it topologically sorted).
+	grouped := make([]int, 0, len(inGroup))
+	for n := range inGroup {
+		grouped = append(grouped, n)
+	}
+	sort.Ints(grouped)
+	innerIndex := map[int]int{}
+	w10 := &workflow.SimpleWorkflow{}
+	for _, n := range grouped {
+		innerIndex[n] = len(w10.Nodes)
+		w10.Nodes = append(w10.Nodes, w.Nodes[n])
+	}
+	for _, e := range w.Edges {
+		if inGroup[e.FromNode] && inGroup[e.ToNode] {
+			w10.Edges = append(w10.Edges, workflow.DataEdge{
+				FromNode: innerIndex[e.FromNode], FromPort: e.FromPort,
+				ToNode: innerIndex[e.ToNode], ToPort: e.ToPort,
+			})
+		}
+	}
+
+	// The new module's ports are W10's initial inputs and final outputs, in
+	// canonical (node, port) order — the same convention every production
+	// bijection uses.
+	initIns, err := w10.InitialInputs(grammar)
+	if err != nil {
+		return nil, err
+	}
+	finalOuts, err := w10.FinalOutputs(grammar)
+	if err != nil {
+		return nil, err
+	}
+	inputIndex := map[[2]int]int{}  // (occurrence in W, port) -> F input port
+	outputIndex := map[[2]int]int{} // (occurrence in W, port) -> F output port
+	for x, ref := range initIns {
+		inputIndex[[2]int{grouped[ref.Node], ref.Port}] = x
+	}
+	for x, ref := range finalOuts {
+		outputIndex[[2]int{grouped[ref.Node], ref.Port}] = x
+	}
+	newModule := workflow.Module{Name: g.NewModule, In: len(initIns), Out: len(finalOuts)}
+
+	// Build W9: the ungrouped occurrences plus one occurrence of the new
+	// module, positioned after every producer feeding the group. Appending F
+	// after all retained occurrences that precede any group member keeps a
+	// topological order because the group is convex.
+	w9 := &workflow.SimpleWorkflow{}
+	outerIndex := map[int]int{}
+	fPosition := -1
+	firstGrouped := grouped[0]
+	for n := range w.Nodes {
+		if inGroup[n] {
+			continue
+		}
+		if fPosition < 0 && n > lastProducerBefore(w, inGroup) && n >= firstGrouped {
+			fPosition = len(w9.Nodes)
+			w9.Nodes = append(w9.Nodes, g.NewModule)
+		}
+		outerIndex[n] = len(w9.Nodes)
+		w9.Nodes = append(w9.Nodes, w.Nodes[n])
+	}
+	if fPosition < 0 {
+		fPosition = len(w9.Nodes)
+		w9.Nodes = append(w9.Nodes, g.NewModule)
+	}
+	for _, e := range w.Edges {
+		switch {
+		case inGroup[e.FromNode] && inGroup[e.ToNode]:
+			// hidden inside F
+		case inGroup[e.ToNode]:
+			w9.Edges = append(w9.Edges, workflow.DataEdge{
+				FromNode: outerIndex[e.FromNode], FromPort: e.FromPort,
+				ToNode: fPosition, ToPort: inputIndex[[2]int{e.ToNode, e.ToPort}],
+			})
+		case inGroup[e.FromNode]:
+			w9.Edges = append(w9.Edges, workflow.DataEdge{
+				FromNode: fPosition, FromPort: outputIndex[[2]int{e.FromNode, e.FromPort}],
+				ToNode: outerIndex[e.ToNode], ToPort: e.ToPort,
+			})
+		default:
+			w9.Edges = append(w9.Edges, workflow.DataEdge{
+				FromNode: outerIndex[e.FromNode], FromPort: e.FromPort,
+				ToNode: outerIndex[e.ToNode], ToPort: e.ToPort,
+			})
+		}
+	}
+	w9, err = w9.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("view: grouping would make the rewritten workflow cyclic: %w", err)
+	}
+
+	// Assemble the rewritten grammar.
+	out := grammar.Clone()
+	out.Modules[g.NewModule] = newModule
+	out.Productions[g.Production-1] = workflow.Production{LHS: prod.LHS, RHS: w9}
+	out.Productions = append(out.Productions, workflow.Production{LHS: g.NewModule, RHS: w10})
+
+	return workflow.NewSpecification(out, spec.Deps.Clone())
+}
+
+// lastProducerBefore returns the largest occurrence index outside the group
+// that has a data edge into the group (or -1).
+func lastProducerBefore(w *workflow.SimpleWorkflow, inGroup map[int]bool) int {
+	last := -1
+	for _, e := range w.Edges {
+		if !inGroup[e.FromNode] && inGroup[e.ToNode] && e.FromNode > last {
+			last = e.FromNode
+		}
+	}
+	return last
+}
+
+// checkConvex rejects groupings with a data path that leaves the group and
+// re-enters it.
+func checkConvex(w *workflow.SimpleWorkflow, inGroup map[int]bool) error {
+	// For every occurrence outside the group that is reachable from the
+	// group, no edge may lead back into the group.
+	succ := make(map[int][]int)
+	for _, e := range w.Edges {
+		succ[e.FromNode] = append(succ[e.FromNode], e.ToNode)
+	}
+	reachableOutside := map[int]bool{}
+	var stack []int
+	for n := range inGroup {
+		for _, s := range succ[n] {
+			if !inGroup[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachableOutside[n] {
+			continue
+		}
+		reachableOutside[n] = true
+		for _, s := range succ[n] {
+			if inGroup[s] {
+				return fmt.Errorf("view: grouping is not convex: a data path leaves the group through occurrence %d and re-enters it", n)
+			}
+			stack = append(stack, s)
+		}
+	}
+	return nil
+}
+
+// UserDefined builds a user-defined view in one step: the specification is
+// rewritten by the groupings, and a view over the rewritten specification is
+// returned in which the newly introduced composite modules are hidden (their
+// internals collapse into grey boxes with the supplied dependencies, or
+// black-box dependencies when none are supplied).
+func UserDefined(name string, spec *workflow.Specification, groupings []Grouping, deps workflow.DependencyAssignment) (*workflow.Specification, *View, error) {
+	rewritten := spec
+	var err error
+	newModules := make([]string, 0, len(groupings))
+	for _, g := range groupings {
+		rewritten, err = GroupModules(rewritten, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		newModules = append(newModules, g.NewModule)
+	}
+	// Expandable modules: every composite except the newly introduced ones and
+	// except composites that become underivable once those are hidden (their
+	// only occurrences now live inside a hidden group), so the view stays
+	// proper.
+	hidden := map[string]bool{}
+	for _, m := range newModules {
+		hidden[m] = true
+	}
+	include := []string{}
+	for _, m := range rewritten.Grammar.Composites() {
+		if !hidden[m] {
+			include = append(include, m)
+		}
+	}
+	for {
+		probe := &View{Spec: rewritten, Include: map[string]bool{}}
+		for _, m := range include {
+			probe.Include[m] = true
+		}
+		reach := probe.ReachableModules()
+		kept := include[:0]
+		for _, m := range include {
+			if reach[m] {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == len(include) {
+			break
+		}
+		include = kept
+	}
+	// Dependency assignment for the view-atomic modules: caller-supplied
+	// matrices win; the original λ covers the true atomic modules; newly
+	// introduced (hidden) modules default to black boxes.
+	probe := &View{Spec: rewritten, Include: map[string]bool{}}
+	for _, m := range include {
+		probe.Include[m] = true
+	}
+	viewDeps := workflow.DependencyAssignment{}
+	for _, m := range probe.ViewAtomicModules() {
+		if d, ok := deps[m]; ok {
+			viewDeps[m] = d.Clone()
+			continue
+		}
+		if d, ok := rewritten.Deps[m]; ok {
+			viewDeps[m] = d.Clone()
+			continue
+		}
+		viewDeps[m] = workflow.CompleteDeps(rewritten.Grammar.Modules[m])
+	}
+	v, err := New(name, rewritten, include, viewDeps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rewritten, v, nil
+}

@@ -1,0 +1,105 @@
+package workflow_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func TestSpecificationJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec *workflow.Specification
+	}{
+		{"paper", workloads.PaperExample()},
+		{"bioaid", workloads.BioAID()},
+		{"figure10", workloads.Figure10Example()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := workflow.WriteSpecification(&buf, tc.spec); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			back, err := workflow.ReadSpecification(&buf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			// Structural equivalence: same module set and arities, same number
+			// of productions with the same left-hand sides and node multisets,
+			// same dependency matrices.
+			if back.Grammar.Start != tc.spec.Grammar.Start {
+				t.Fatalf("start module changed: %q -> %q", tc.spec.Grammar.Start, back.Grammar.Start)
+			}
+			if len(back.Grammar.Modules) != len(tc.spec.Grammar.Modules) {
+				t.Fatalf("module count changed: %d -> %d", len(tc.spec.Grammar.Modules), len(back.Grammar.Modules))
+			}
+			for name, m := range tc.spec.Grammar.Modules {
+				got, ok := back.Grammar.Modules[name]
+				if !ok || got != m {
+					t.Fatalf("module %q changed: %+v -> %+v (present %v)", name, m, got, ok)
+				}
+			}
+			if len(back.Grammar.Productions) != len(tc.spec.Grammar.Productions) {
+				t.Fatalf("production count changed")
+			}
+			for i, p := range tc.spec.Grammar.Productions {
+				q := back.Grammar.Productions[i]
+				if p.LHS != q.LHS || len(p.RHS.Nodes) != len(q.RHS.Nodes) || len(p.RHS.Edges) != len(q.RHS.Edges) {
+					t.Fatalf("production %d changed shape", i+1)
+				}
+			}
+			for name, m := range tc.spec.Deps {
+				got, ok := back.Deps[name]
+				if !ok || !got.Equal(m) {
+					t.Fatalf("dependencies of %q changed", name)
+				}
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("round-tripped specification invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestReadSpecificationRejectsMalformedDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"start": `,
+		"unknown module":  `{"start":"S","modules":[{"name":"S","in":1,"out":1}],"productions":[{"lhs":"S","nodes":["x"],"edges":[]}],"dependencies":{}}`,
+		"bad deps target": `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1}],"productions":[{"lhs":"S","nodes":["a"],"edges":[]}],"dependencies":{"zzz":["1"]}}`,
+		"bad deps shape":  `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1}],"productions":[{"lhs":"S","nodes":["a"],"edges":[]}],"dependencies":{"a":["11"]}}`,
+		"bad deps chars":  `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1}],"productions":[{"lhs":"S","nodes":["a"],"edges":[]}],"dependencies":{"a":["x"]}}`,
+		"duplicate module": `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1}],
+			"productions":[{"lhs":"S","nodes":["a"],"edges":[]}],"dependencies":{"a":["1"]}}`,
+		"cyclic rhs": `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1},{"name":"b","in":1,"out":1}],
+			"productions":[{"lhs":"S","nodes":["a","b"],"edges":[{"fromNode":0,"fromPort":0,"toNode":1,"toPort":0},{"fromNode":1,"fromPort":0,"toNode":0,"toPort":0}]}],
+			"dependencies":{"a":["1"],"b":["1"]}}`,
+		"missing deps": `{"start":"S","modules":[{"name":"S","in":1,"out":1},{"name":"a","in":1,"out":1}],"productions":[{"lhs":"S","nodes":["a"],"edges":[]}],"dependencies":{}}`,
+	}
+	for name, doc := range cases {
+		if _, err := workflow.ReadSpecification(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: malformed document accepted", name)
+		}
+	}
+}
+
+func TestSpecificationJSONIsStable(t *testing.T) {
+	// Marshaling twice yields the same bytes (deterministic module ordering),
+	// which keeps specifications diff-friendly under version control.
+	spec := workloads.PaperExample()
+	a, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marshaling is not deterministic")
+	}
+}

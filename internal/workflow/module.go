@@ -1,0 +1,137 @@
+// Package workflow implements the fine-grained workflow model of the paper
+// "Labeling Workflow Views with Fine-Grained Dependencies" (Bao, Davidson,
+// Milo): modules with input/output ports, simple workflows connected by data
+// edges, workflow productions, context-free workflow grammars, dependency
+// assignments and workflow specifications (Definitions 1-8).
+//
+// Conventions used throughout the reproduction:
+//
+//   - Ports are referred to by 0-based index. A module with In=2 has input
+//     ports 0 and 1.
+//   - The nodes of a simple workflow are stored in a fixed topological order;
+//     the i-th node (1-based) of the k-th production (1-based) yields the
+//     production-graph edge (k, i) exactly as in Section 4.1 of the paper.
+//   - A production's bijection f maps the x-th input (output) port of its
+//     left-hand side to the x-th initial input (final output) port of its
+//     right-hand side, where initial/final ports are enumerated in node order
+//     and then port order. This is the paper's "top to bottom" simplification
+//     (Example 4).
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/boolmat"
+)
+
+// Module declares a module type: a name together with the number of input
+// and output ports (Definition 1). Whether a module is atomic or composite is
+// a property of the grammar (composite modules are the left-hand sides of
+// productions), not of the module itself.
+type Module struct {
+	Name string
+	In   int // number of input ports
+	Out  int // number of output ports
+}
+
+// Validate checks that the module has a name, at least one port on each side
+// would not be required by the model, but negative counts are rejected.
+func (m Module) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("workflow: module with empty name")
+	}
+	if m.In < 0 || m.Out < 0 {
+		return fmt.Errorf("workflow: module %q has negative port count (%d in, %d out)", m.Name, m.In, m.Out)
+	}
+	return nil
+}
+
+// DependencyAssignment maps a module name to its fine-grained input-output
+// dependency relation (Definition 6): entry (i, o) is true when output port o
+// of the module depends on input port i. Matrices are In x Out.
+type DependencyAssignment map[string]*boolmat.Matrix
+
+// Clone returns a deep copy of the assignment.
+func (d DependencyAssignment) Clone() DependencyAssignment {
+	c := make(DependencyAssignment, len(d))
+	for name, m := range d {
+		c[name] = m.Clone()
+	}
+	return c
+}
+
+// Set records the dependency matrix for a module, replacing any previous one.
+func (d DependencyAssignment) Set(module string, m *boolmat.Matrix) {
+	d[module] = m.Clone()
+}
+
+// Get returns the dependency matrix for a module and whether one is defined.
+func (d DependencyAssignment) Get(module string) (*boolmat.Matrix, bool) {
+	m, ok := d[module]
+	return m, ok
+}
+
+// Modules returns the sorted list of module names the assignment covers.
+func (d DependencyAssignment) Modules() []string {
+	names := make([]string, 0, len(d))
+	for name := range d {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CompleteDeps returns the black-box dependency matrix for a module: every
+// output depends on every input (Definition 8 condition 1).
+func CompleteDeps(m Module) *boolmat.Matrix {
+	return boolmat.Full(m.In, m.Out)
+}
+
+// ValidateFor checks the assignment against a set of modules (Definition 6):
+// every listed module must have a matrix of the right dimensions in which
+// every input contributes to at least one output and every output depends on
+// at least one input. Modules with zero inputs or zero outputs are exempt
+// from the respective condition (they can only occur for the start module of
+// degenerate grammars and are tolerated).
+func (d DependencyAssignment) ValidateFor(modules []Module) error {
+	for _, m := range modules {
+		mat, ok := d[m.Name]
+		if !ok {
+			return fmt.Errorf("workflow: dependency assignment missing module %q", m.Name)
+		}
+		if mat.Rows() != m.In || mat.Cols() != m.Out {
+			return fmt.Errorf("workflow: dependency matrix for %q is %dx%d, want %dx%d",
+				m.Name, mat.Rows(), mat.Cols(), m.In, m.Out)
+		}
+		if m.Out > 0 {
+			for i := 0; i < m.In; i++ {
+				any := false
+				for o := 0; o < m.Out; o++ {
+					if mat.Get(i, o) {
+						any = true
+						break
+					}
+				}
+				if !any {
+					return fmt.Errorf("workflow: input port %d of %q contributes to no output", i, m.Name)
+				}
+			}
+		}
+		if m.In > 0 {
+			for o := 0; o < m.Out; o++ {
+				any := false
+				for i := 0; i < m.In; i++ {
+					if mat.Get(i, o) {
+						any = true
+						break
+					}
+				}
+				if !any {
+					return fmt.Errorf("workflow: output port %d of %q depends on no input", o, m.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

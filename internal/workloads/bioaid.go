@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/workflow"
+)
+
+// BioAID builds the real-life workload of Section 6.1. The original BioAID
+// workflow was collected from the myExperiment repository and is not
+// redistributable in machine-readable form, so this is a synthetic stand-in
+// that reproduces every statistic the paper reports about it and that drives
+// the labeling and query costs:
+//
+//   - a strictly linear-recursive grammar with 112 modules, 16 of them
+//     composite;
+//   - 23 productions, 7 of them recursive (the paper attributes them to two
+//     loop executions and four fork executions, plus one more; here they are
+//     seven self-recursive composite modules, which is the same production-
+//     graph shape);
+//   - every production produces a simple workflow with at most 19 modules;
+//   - every module has at most 4 input ports and at most 7 output ports.
+//
+// The structure is a pipeline: the start module S expands into eight
+// processing stages; seven of the stages contain one recursive composite
+// (a loop or a fork); recursive composites expand either into another round
+// of themselves or into a terminating body. Middle modules carry fine-grained
+// dependencies; the dedicated source and sink module of each recursive
+// composite are black boxes, which keeps all alternative productions
+// consistent and the specification safe (see chainSpec).
+func BioAID() *workflow.Specification {
+	const lanes = 2
+	b := workflow.NewBuilder()
+
+	// Start module and its stage pipeline.
+	b.Module("S", 3, 4)
+	b.Module("src_S", 3, lanes)
+	b.Module("snk_S", lanes, 4)
+	b.DepsMatrix("src_S", fineDeps(3, lanes, 1))
+	b.DepsMatrix("snk_S", fineDeps(lanes, 4, 2))
+
+	stages := make([]string, 8)
+	for i := range stages {
+		stages[i] = fmt.Sprintf("Stage%d", i+1)
+		b.Module(stages[i], lanes, lanes)
+	}
+
+	// Recursive composites: three loops and four forks.
+	recursives := []string{"LoopExtract", "LoopAlign", "LoopRefine", "ForkBlast", "ForkAnnotate", "ForkCluster", "ForkRender"}
+	for _, name := range recursives {
+		b.Module(name, lanes, lanes)
+		b.Module("src_"+name, lanes, lanes)
+		b.Module("snk_"+name, lanes, lanes)
+		// Black-box source and sink keep the two alternative productions of
+		// the recursive module consistent.
+		b.BlackBox("src_"+name, "snk_"+name)
+	}
+
+	// S -> src_S, 4 atomics, the eight stages, snk_S.
+	sAtomics := make([]string, 4)
+	for i := range sAtomics {
+		sAtomics[i] = fmt.Sprintf("prep%d", i+1)
+		b.Module(sAtomics[i], lanes, lanes)
+		b.DepsMatrix(sAtomics[i], fineDeps(lanes, lanes, i))
+	}
+	sMids := append(append([]string{}, sAtomics[:2]...), stages...)
+	sMids = append(sMids, sAtomics[2:]...)
+	b.Start("S")
+	addChainProduction(b, chainSpec{lhs: "S", src: "src_S", snk: "snk_S", mids: sMids, lanes: lanes})
+
+	// Stage_i -> src, 4 atomics, (one recursive composite for stages 1..7), snk.
+	for i, stage := range stages {
+		src := "src_" + stage
+		snk := "snk_" + stage
+		b.Module(src, lanes, lanes)
+		b.Module(snk, lanes, lanes)
+		b.DepsMatrix(src, fineDeps(lanes, lanes, i+3))
+		b.DepsMatrix(snk, fineDeps(lanes, lanes, i+4))
+		atoms := make([]string, 4)
+		for j := range atoms {
+			atoms[j] = fmt.Sprintf("op_%s_%d", stage, j+1)
+			b.Module(atoms[j], lanes, lanes)
+			b.DepsMatrix(atoms[j], fineDeps(lanes, lanes, i+j))
+		}
+		mids := []string{atoms[0], atoms[1]}
+		if i < len(recursives) {
+			mids = append(mids, recursives[i])
+		}
+		mids = append(mids, atoms[2], atoms[3])
+		addChainProduction(b, chainSpec{lhs: stage, src: src, snk: snk, mids: mids, lanes: lanes})
+	}
+
+	// Recursive composites: one recursive and one terminating production each.
+	for i, name := range recursives {
+		recAtoms := []string{fmt.Sprintf("iter_%s_a", name), fmt.Sprintf("iter_%s_b", name)}
+		termAtoms := []string{fmt.Sprintf("final_%s_a", name), fmt.Sprintf("final_%s_b", name)}
+		for j, a := range append(append([]string{}, recAtoms...), termAtoms...) {
+			b.Module(a, lanes, lanes)
+			b.DepsMatrix(a, fineDeps(lanes, lanes, i+j+5))
+		}
+		addChainProduction(b, chainSpec{
+			lhs: name, src: "src_" + name, snk: "snk_" + name,
+			mids: []string{recAtoms[0], name, recAtoms[1]}, lanes: lanes,
+		})
+		addChainProduction(b, chainSpec{
+			lhs: name, src: "src_" + name, snk: "snk_" + name,
+			mids: []string{termAtoms[0], termAtoms[1]}, lanes: lanes,
+		})
+	}
+
+	return b.MustBuild()
+}

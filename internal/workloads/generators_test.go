@@ -1,0 +1,327 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prodgraph"
+	"repro/internal/safety"
+	"repro/internal/workflow"
+)
+
+func TestBioAIDMatchesPaperStatistics(t *testing.T) {
+	spec := BioAID()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("BioAID invalid: %v", err)
+	}
+	g := spec.Grammar
+	if got := len(g.Modules); got != 112 {
+		t.Errorf("module count = %d, want 112", got)
+	}
+	if got := len(g.Composites()); got != 16 {
+		t.Errorf("composite module count = %d, want 16", got)
+	}
+	if got := len(g.Productions); got != 23 {
+		t.Errorf("production count = %d, want 23", got)
+	}
+	pg := prodgraph.New(g)
+	if !pg.IsStrictlyLinearRecursive() {
+		t.Fatalf("BioAID must be strictly linear-recursive")
+	}
+	cycles, err := pg.Cycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recursiveProds := map[int]bool{}
+	for _, c := range cycles {
+		for _, e := range c.Edges {
+			recursiveProds[e.K] = true
+		}
+	}
+	if got := len(recursiveProds); got != 7 {
+		t.Errorf("recursive production count = %d, want 7", got)
+	}
+	maxRHS, maxIn, maxOut := 0, 0, 0
+	for _, p := range g.Productions {
+		if len(p.RHS.Nodes) > maxRHS {
+			maxRHS = len(p.RHS.Nodes)
+		}
+	}
+	for _, m := range g.Modules {
+		if m.In > maxIn {
+			maxIn = m.In
+		}
+		if m.Out > maxOut {
+			maxOut = m.Out
+		}
+	}
+	if maxRHS > 19 {
+		t.Errorf("largest production right-hand side has %d modules, paper reports at most 19", maxRHS)
+	}
+	if maxIn > 4 || maxOut > 7 {
+		t.Errorf("module degree (%d in, %d out) exceeds the paper's 4/7", maxIn, maxOut)
+	}
+	if _, err := safety.Check(spec); err != nil {
+		t.Fatalf("BioAID must be safe: %v", err)
+	}
+	if spec.IsCoarseGrained() {
+		t.Errorf("BioAID must carry fine-grained dependencies")
+	}
+}
+
+func TestBioAIDBlackBoxViewsAreSafe(t *testing.T) {
+	spec := BioAID()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 16} {
+		v, err := RandomView(spec, ViewOptions{Name: fmt.Sprintf("bb-%d", n), Composites: n, Mode: BlackBox, Rand: rng})
+		if err != nil {
+			t.Fatalf("black-box view with %d composites: %v", n, err)
+		}
+		if !v.IsSafe() {
+			t.Fatalf("black-box view with %d composites unsafe: %v", n, v.SafetyError())
+		}
+		if got := len(v.ExpandableModules()); got != n {
+			t.Errorf("view has %d expandable composites, want %d", got, n)
+		}
+	}
+}
+
+func TestBioAIDGreyBoxViewsAreSafe(t *testing.T) {
+	spec := BioAID()
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 16} {
+		v, err := RandomView(spec, ViewOptions{Name: fmt.Sprintf("grey-%d", n), Composites: n, Mode: GreyBox, Rand: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsSafe() {
+			t.Fatalf("generated grey-box view is unsafe: %v", v.SafetyError())
+		}
+	}
+}
+
+func TestBioAIDRandomRunsReachTargetSizes(t *testing.T) {
+	spec := BioAID()
+	for _, target := range []int{1000, 4000} {
+		r, err := RandomRun(spec, RunOptions{TargetSize: target, Rand: rand.New(rand.NewSource(int64(target)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.IsComplete() {
+			t.Fatalf("run of target %d is not complete", target)
+		}
+		if r.Size() < target {
+			t.Fatalf("run size %d below target %d", r.Size(), target)
+		}
+		if r.Size() > 3*target {
+			t.Fatalf("run size %d overshoots target %d by more than 3x", r.Size(), target)
+		}
+	}
+}
+
+func TestSyntheticDefaultsAreStrictlyLinearAndSafe(t *testing.T) {
+	spec := Synthetic(DefaultSyntheticParams())
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pg := prodgraph.New(spec.Grammar)
+	if !pg.IsStrictlyLinearRecursive() {
+		t.Fatalf("synthetic default workflow must be strictly linear-recursive")
+	}
+	if _, err := safety.Check(spec); err != nil {
+		t.Fatalf("synthetic default workflow must be safe: %v", err)
+	}
+	params := DefaultSyntheticParams()
+	if got := len(spec.Grammar.Composites()); got != params.NestingDepth*params.RecursionLength {
+		t.Errorf("composite count = %d, want depth*recursion = %d", got, params.NestingDepth*params.RecursionLength)
+	}
+	for _, p := range spec.Grammar.Productions {
+		if got := len(p.RHS.Nodes); got != params.WorkflowSize {
+			t.Errorf("production %q right-hand side has %d nodes, want %d", p.LHS, got, params.WorkflowSize)
+		}
+	}
+}
+
+func TestSyntheticParameterSweepsProduceValidSpecifications(t *testing.T) {
+	base := DefaultSyntheticParams()
+	cases := []SyntheticParams{}
+	for _, size := range []int{10, 20, 40, 80} {
+		p := base
+		p.WorkflowSize = size
+		cases = append(cases, p)
+	}
+	for _, deg := range []int{2, 4, 6, 8, 10} {
+		p := base
+		p.ModuleDegree = deg
+		cases = append(cases, p)
+	}
+	for _, depth := range []int{2, 6, 10} {
+		p := base
+		p.NestingDepth = depth
+		cases = append(cases, p)
+	}
+	for _, rec := range []int{1, 2, 3, 5} {
+		p := base
+		p.RecursionLength = rec
+		cases = append(cases, p)
+	}
+	for _, p := range cases {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			spec := Synthetic(p)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			pg := prodgraph.New(spec.Grammar)
+			if !pg.IsStrictlyLinearRecursive() {
+				t.Fatalf("not strictly linear-recursive")
+			}
+			cycles, err := pg.Cycles()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cycles) != p.NestingDepth {
+				t.Fatalf("cycle count = %d, want one per nesting level = %d", len(cycles), p.NestingDepth)
+			}
+			for _, c := range cycles {
+				if c.Len() != p.RecursionLength {
+					t.Fatalf("cycle length = %d, want %d", c.Len(), p.RecursionLength)
+				}
+			}
+			if _, err := safety.Check(spec); err != nil {
+				t.Fatalf("unsafe: %v", err)
+			}
+		})
+	}
+}
+
+func TestDeepRunReachesFullNestingDepth(t *testing.T) {
+	params := DefaultSyntheticParams()
+	params.NestingDepth = 6
+	params.WorkflowSize = 10
+	spec := Synthetic(params)
+	r, err := DeepRun(spec, RunOptions{TargetSize: 2000, Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, inst := range r.Instances {
+		seen[inst.Module] = true
+	}
+	for level := 1; level <= params.NestingDepth; level++ {
+		name := fmt.Sprintf("C_%d_1", level)
+		if !seen[name] {
+			t.Fatalf("deep run never instantiated %s; nesting depth not exercised", name)
+		}
+	}
+	if !r.IsComplete() {
+		t.Fatalf("deep run is not complete")
+	}
+}
+
+func TestRandomViewModes(t *testing.T) {
+	spec := PaperExample()
+	rng := rand.New(rand.NewSource(11))
+	white, err := RandomView(spec, ViewOptions{Name: "w", Composites: 4, Mode: WhiteBox, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := white.IsWhiteBox(); !ok {
+		t.Fatalf("white-box mode must produce a white-box view")
+	}
+	black, err := RandomView(spec, ViewOptions{Name: "b", Composites: 3, Mode: BlackBox, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range black.ViewAtomicModules() {
+		mat, _ := black.DepsFor(m)
+		if !mat.IsFull() {
+			t.Fatalf("black-box view has non-complete dependencies for %q", m)
+		}
+	}
+	if _, err := RandomView(spec, ViewOptions{Name: "nil-rand", Composites: 2, Mode: GreyBox}); err == nil {
+		t.Fatalf("RandomView must reject a nil randomness source")
+	}
+}
+
+func TestRandomViewSubsetIsAlwaysProper(t *testing.T) {
+	spec := BioAID()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%16) + 1
+		v, err := RandomView(spec, ViewOptions{Name: "q", Composites: count, Mode: WhiteBox, Rand: rng})
+		if err != nil {
+			return false
+		}
+		return v.CheckProper() == nil && len(v.ExpandableModules()) <= count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure10ExampleProperties(t *testing.T) {
+	spec := Figure10Example()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pg := prodgraph.New(spec.Grammar)
+	if !pg.IsLinearRecursive() {
+		t.Fatalf("Figure 10 grammar must be linear-recursive")
+	}
+	if pg.IsStrictlyLinearRecursive() {
+		t.Fatalf("Figure 10 grammar must not be strictly linear-recursive")
+	}
+	if !spec.IsCoarseGrained() {
+		t.Fatalf("Figure 10 grammar is coarse-grained (black-box) by construction")
+	}
+	if _, err := safety.Check(spec); err != nil {
+		t.Fatalf("Figure 10 grammar must be safe (Lemma 2): %v", err)
+	}
+}
+
+func TestClassifyProductionsOnPaperExample(t *testing.T) {
+	spec := PaperExample()
+	growing, terminating := classifyProductions(spec.Grammar)
+	// p2 = A -> (d, B, C) keeps the A/B recursion alive; p3 = A -> (e, C) ends it.
+	if len(growing["A"]) != 1 || growing["A"][0] != 2 {
+		t.Fatalf("growing productions for A = %v, want [2]", growing["A"])
+	}
+	if len(terminating["A"]) != 1 || terminating["A"][0] != 3 {
+		t.Fatalf("terminating productions for A = %v, want [3]", terminating["A"])
+	}
+	// p6 = D -> (f, D) is recursive, p7 = D -> (f) terminates.
+	if len(growing["D"]) != 1 || growing["D"][0] != 6 {
+		t.Fatalf("growing productions for D = %v, want [6]", growing["D"])
+	}
+	if len(terminating["D"]) != 1 || terminating["D"][0] != 7 {
+		t.Fatalf("terminating productions for D = %v, want [7]", terminating["D"])
+	}
+}
+
+func TestFineDepsSatisfyDefinition6(t *testing.T) {
+	for in := 1; in <= 6; in++ {
+		for out := 1; out <= 6; out++ {
+			for salt := 0; salt < 4; salt++ {
+				m := fineDeps(in, out, salt)
+				mod := workflow.Module{Name: "m", In: in, Out: out}
+				deps := workflow.DependencyAssignment{"m": m}
+				if err := deps.ValidateFor([]workflow.Module{mod}); err != nil {
+					t.Fatalf("fineDeps(%d,%d,%d) violates Definition 6: %v", in, out, salt, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomRunRequiresRand(t *testing.T) {
+	spec := PaperExample()
+	if _, err := RandomRun(spec, RunOptions{TargetSize: 10}); err == nil {
+		t.Fatalf("RandomRun must reject a nil randomness source")
+	}
+	if _, err := DeepRun(spec, RunOptions{TargetSize: 10}); err == nil {
+		t.Fatalf("DeepRun must reject a nil randomness source")
+	}
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/boolmat"
+	"repro/internal/prodgraph"
+	"repro/internal/safety"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+func TestPaperExampleValidatesAndIsStrictlyLinear(t *testing.T) {
+	spec := PaperExample()
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("paper example invalid: %v", err)
+	}
+	if spec.IsCoarseGrained() {
+		t.Fatalf("paper example must be fine-grained")
+	}
+	pg := prodgraph.New(spec.Grammar)
+	if !pg.IsLinearRecursive() || !pg.IsStrictlyLinearRecursive() {
+		t.Fatalf("paper example must be strictly linear-recursive")
+	}
+	cycles, err := pg.Cycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 12: C(1) = {(2,2),(4,2)} (A <-> B), C(2) = {(6,2)} (D self-loop).
+	if len(cycles) != 2 {
+		t.Fatalf("cycle count = %d, want 2", len(cycles))
+	}
+	c1, c2 := cycles[0], cycles[1]
+	if c1.Len() != 2 || c1.Edges[0].K != 2 || c1.Edges[0].I != 2 || c1.Edges[1].K != 4 || c1.Edges[1].I != 2 {
+		t.Fatalf("C(1) = %v, want {(2,2),(4,2)}", c1.Edges)
+	}
+	if c2.Len() != 1 || c2.Edges[0].K != 6 || c2.Edges[0].I != 2 {
+		t.Fatalf("C(2) = %v, want {(6,2)}", c2.Edges)
+	}
+}
+
+func TestPaperExampleFullAssignment(t *testing.T) {
+	spec := PaperExample()
+	res, err := safety.Check(spec)
+	if err != nil {
+		t.Fatalf("paper example reported unsafe: %v", err)
+	}
+	upper := boolmat.FromRows([][]bool{{true, true}, {false, true}})
+	diag := boolmat.Identity(2)
+	antiDiag := boolmat.New(2, 2)
+	antiDiag.Set(0, 1, true)
+	antiDiag.Set(1, 0, true)
+
+	want := map[string]*boolmat.Matrix{
+		"D": diag,
+		"E": antiDiag,
+		"C": upper,
+		"A": upper,
+		"B": upper,
+		"S": boolmat.Full(2, 2),
+	}
+	for name, m := range want {
+		got, ok := res.Full[name]
+		if !ok {
+			t.Fatalf("no full assignment for %s", name)
+		}
+		if !got.Equal(m) {
+			t.Errorf("lambda*(%s) = %v, want %v", name, got, m)
+		}
+	}
+}
+
+func TestPaperSecurityViewIsSafeAndGreyBox(t *testing.T) {
+	spec := PaperExample()
+	v, err := PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsSafe() {
+		t.Fatalf("security view unsafe: %v", v.SafetyError())
+	}
+	grey, err := v.IsGreyBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grey {
+		t.Fatalf("security view must be grey-box")
+	}
+	atomics := v.ViewAtomicModules()
+	// Example 7: lambda' needs to be defined only for a, b, c, d, e and C.
+	want := []string{"C", "a", "b", "c", "d", "e"}
+	if len(atomics) != len(want) {
+		t.Fatalf("view-atomic modules = %v, want %v", atomics, want)
+	}
+	for i := range want {
+		if atomics[i] != want[i] {
+			t.Fatalf("view-atomic modules = %v, want %v", atomics, want)
+		}
+	}
+	// The view's full assignment for A and S is complete (Figure 7, bottom),
+	// while B keeps the same dependencies as in the default view there; with
+	// our reconstruction the black-box C makes all of them complete.
+	full, err := v.FullAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full["A"].IsFull() || !full["S"].IsFull() {
+		t.Fatalf("grey-box view should coarsen A and S to complete dependencies: A=%v S=%v", full["A"], full["S"])
+	}
+}
+
+func TestPaperAbstractionViewIsWhiteBox(t *testing.T) {
+	spec := PaperExample()
+	v, err := PaperAbstractionView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsSafe() {
+		t.Fatalf("abstraction view unsafe: %v", v.SafetyError())
+	}
+	white, err := v.IsWhiteBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !white {
+		t.Fatalf("abstraction view must be white-box")
+	}
+}
+
+func TestDefaultViewOfPaperExample(t *testing.T) {
+	spec := PaperExample()
+	def := view.Default(spec)
+	if !def.IsSafe() {
+		t.Fatalf("default view unsafe: %v", def.SafetyError())
+	}
+	if len(def.ViewAtomicModules()) != 6 {
+		t.Fatalf("default view atomics = %v", def.ViewAtomicModules())
+	}
+	white, err := def.IsWhiteBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !white {
+		t.Fatalf("default view is white-box by definition")
+	}
+	start, err := def.StartDeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !start.IsFull() {
+		t.Fatalf("lambda*(S) = %v, want complete", start)
+	}
+}
+
+func TestUnsafeExampleIsUnsafe(t *testing.T) {
+	g, deps := UnsafeExample()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := safety.FullAssignment(g, deps, safety.Options{}); err == nil {
+		t.Fatalf("Figure 6 style specification must be unsafe")
+	}
+}
+
+func TestPaperViewRejectsImproperSubset(t *testing.T) {
+	spec := PaperExample()
+	// {A, B} without S is improper: A and B are underivable once S cannot expand.
+	deps := workflow.DependencyAssignment{"S": workflow.CompleteDeps(spec.Grammar.Modules["S"])}
+	if _, err := view.New("bad", spec, []string{"A", "B"}, deps); err == nil {
+		t.Fatalf("improper view accepted")
+	}
+	// A non-composite module cannot be in Delta'.
+	if _, err := view.New("bad2", spec, []string{"a"}, nil); err == nil {
+		t.Fatalf("non-composite module accepted in Delta'")
+	}
+}

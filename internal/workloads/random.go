@@ -1,0 +1,319 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/boolmat"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// RunOptions controls the random derivation of a run.
+type RunOptions struct {
+	// TargetSize is the number of data items to aim for. The derivation keeps
+	// favouring recursive productions until the run reaches this size, then
+	// switches to terminating productions and completes the run.
+	TargetSize int
+	// Rand is the randomness source. It must not be nil.
+	Rand *rand.Rand
+	// Partial, when true, stops as soon as TargetSize is reached and leaves
+	// the remaining composite instances unexpanded (a partial execution).
+	Partial bool
+	// MaxSteps bounds the number of production applications as a safety net
+	// against degenerate grammars; 0 means 50*TargetSize+1000.
+	MaxSteps int
+}
+
+// RandomRun derives a run of the specification by applying a random sequence
+// of productions, the simulation strategy described in Section 6.1 of the
+// paper ("we simulated runs by applying a random sequence of productions").
+func RandomRun(spec *workflow.Specification, opts RunOptions) (*run.Run, error) {
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("workloads: RunOptions.Rand must not be nil")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 50*opts.TargetSize + 1000
+	}
+	growing, terminating := classifyProductions(spec.Grammar)
+
+	r := run.New(spec)
+	steps := 0
+	for {
+		frontier := r.Frontier()
+		if len(frontier) == 0 {
+			break
+		}
+		if opts.Partial && r.Size() >= opts.TargetSize {
+			break
+		}
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("workloads: derivation did not terminate within %d steps", maxSteps)
+		}
+		instID := frontier[opts.Rand.Intn(len(frontier))]
+		inst, _ := r.Instance(instID)
+		var prod int
+		if r.Size() < opts.TargetSize {
+			prod = pickProduction(opts.Rand, growing[inst.Module], spec.Grammar.ProductionsFor(inst.Module))
+		} else {
+			prod = pickProduction(opts.Rand, terminating[inst.Module], spec.Grammar.ProductionsFor(inst.Module))
+		}
+		if _, err := r.Apply(instID, prod); err != nil {
+			return nil, err
+		}
+		steps++
+	}
+	return r, nil
+}
+
+// pickProduction picks uniformly from preferred if non-empty, otherwise from
+// all.
+func pickProduction(rng *rand.Rand, preferred, all []int) int {
+	if len(preferred) > 0 {
+		return preferred[rng.Intn(len(preferred))]
+	}
+	return all[rng.Intn(len(all))]
+}
+
+// classifyProductions splits, for every composite module, its productions
+// into "growing" ones (those whose right-hand side contains a module that can
+// reach the left-hand side again, i.e. that keep a recursion alive) and
+// "terminating" ones (the rest). Growing productions are used to inflate runs
+// towards a target size; terminating ones are used to finish the derivation.
+func classifyProductions(g *workflow.Grammar) (growing, terminating map[string][]int) {
+	// reach[m][n]: n derivable from m through productions.
+	reach := map[string]map[string]bool{}
+	for name := range g.Modules {
+		reach[name] = map[string]bool{name: true}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, p := range g.Productions {
+			for from := range g.Modules {
+				if !reach[from][p.LHS] {
+					continue
+				}
+				for _, node := range p.RHS.Nodes {
+					if !reach[from][node] {
+						reach[from][node] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	growing = map[string][]int{}
+	terminating = map[string][]int{}
+	for k, p := range g.Productions {
+		recursive := false
+		for _, node := range p.RHS.Nodes {
+			if reach[node][p.LHS] {
+				recursive = true
+				break
+			}
+		}
+		if recursive {
+			growing[p.LHS] = append(growing[p.LHS], k+1)
+		} else {
+			terminating[p.LHS] = append(terminating[p.LHS], k+1)
+		}
+	}
+	return growing, terminating
+}
+
+// DependencyMode selects how the perceived dependencies λ′ of a random view
+// are generated.
+type DependencyMode int
+
+const (
+	// WhiteBox uses the true induced dependencies λ* for every view-atomic
+	// module (abstraction views).
+	WhiteBox DependencyMode = iota
+	// BlackBox uses complete dependencies for every view-atomic module
+	// (the coarse-grained model used by the DRL baseline).
+	BlackBox
+	// GreyBox adds random false dependencies on top of the true ones for a
+	// random subset of view-atomic modules (security views).
+	GreyBox
+)
+
+// String names the mode.
+func (m DependencyMode) String() string {
+	switch m {
+	case WhiteBox:
+		return "white-box"
+	case BlackBox:
+		return "black-box"
+	case GreyBox:
+		return "grey-box"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ViewOptions controls the generation of a random view.
+type ViewOptions struct {
+	// Name is the view's identifier.
+	Name string
+	// Composites is the number of composite modules to keep expandable
+	// (clamped to the available count). The start module is always included
+	// when it is composite.
+	Composites int
+	// Mode selects the dependency assignment λ′.
+	Mode DependencyMode
+	// Rand is the randomness source. It must not be nil.
+	Rand *rand.Rand
+	// MaxAttempts bounds the rejection sampling used to find a safe grey-box
+	// assignment; 0 means 50.
+	MaxAttempts int
+}
+
+// RandomView builds a random safe view over the specification: ∆′ is grown
+// from the start module so the view is always proper, and λ′ is chosen
+// according to the mode. Grey-box assignments are rejection-sampled for
+// safety; if no safe grey-box assignment is found the generator falls back to
+// black-box and finally to white-box dependencies (which are always safe).
+func RandomView(spec *workflow.Specification, opts ViewOptions) (*view.View, error) {
+	if opts.Rand == nil {
+		return nil, fmt.Errorf("workloads: ViewOptions.Rand must not be nil")
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 50
+	}
+	include := randomProperSubset(spec.Grammar, opts.Rand, opts.Composites)
+
+	def := view.Default(spec)
+	full, err := def.FullAssignment()
+	if err != nil {
+		return nil, fmt.Errorf("workloads: specification is unsafe: %w", err)
+	}
+
+	atomicsOf := func(inc []string) []string {
+		probe := &view.View{Spec: spec, Include: map[string]bool{}, Deps: nil}
+		for _, m := range inc {
+			probe.Include[m] = true
+		}
+		return probe.ViewAtomicModules()
+	}
+	atoms := atomicsOf(include)
+
+	build := func(deps workflow.DependencyAssignment) (*view.View, error) {
+		return view.New(opts.Name, spec, include, deps)
+	}
+
+	whiteBox := func() workflow.DependencyAssignment {
+		deps := workflow.DependencyAssignment{}
+		for _, m := range atoms {
+			deps[m] = full[m].Clone()
+		}
+		return deps
+	}
+	blackBox := func() workflow.DependencyAssignment {
+		deps := workflow.DependencyAssignment{}
+		for _, m := range atoms {
+			deps[m] = workflow.CompleteDeps(spec.Grammar.Modules[m])
+		}
+		return deps
+	}
+
+	switch opts.Mode {
+	case WhiteBox:
+		return build(whiteBox())
+	case BlackBox:
+		v, err := build(blackBox())
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsSafe() {
+			return nil, fmt.Errorf("workloads: black-box view over %q is unsafe: %w", spec.Grammar.Start, v.SafetyError())
+		}
+		return v, nil
+	case GreyBox:
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			deps := workflow.DependencyAssignment{}
+			for _, m := range atoms {
+				switch opts.Rand.Intn(3) {
+				case 0:
+					deps[m] = full[m].Clone()
+				case 1:
+					deps[m] = workflow.CompleteDeps(spec.Grammar.Modules[m])
+				default:
+					deps[m] = addRandomDeps(full[m], opts.Rand)
+				}
+			}
+			v, err := build(deps)
+			if err != nil {
+				continue
+			}
+			if v.IsSafe() {
+				return v, nil
+			}
+		}
+		// Fall back to a uniformly coarsened (black-box) assignment, and to
+		// white-box dependencies as the last resort.
+		if v, err := build(blackBox()); err == nil && v.IsSafe() {
+			return v, nil
+		}
+		return build(whiteBox())
+	default:
+		return nil, fmt.Errorf("workloads: unknown dependency mode %v", opts.Mode)
+	}
+}
+
+// addRandomDeps returns a copy of the matrix with a few extra (false)
+// dependencies switched on, modelling the grey boxes of security views.
+func addRandomDeps(m *boolmat.Matrix, rng *rand.Rand) *boolmat.Matrix {
+	c := m.Clone()
+	if c.Rows() == 0 || c.Cols() == 0 {
+		return c
+	}
+	extra := 1 + rng.Intn(c.Rows()*c.Cols())
+	for e := 0; e < extra; e++ {
+		c.Set(rng.Intn(c.Rows()), rng.Intn(c.Cols()), true)
+	}
+	return c
+}
+
+// randomProperSubset grows ∆′ from the start module: each added composite
+// module occurs in the right-hand side of a production of an already included
+// module, so every member is derivable in the restricted grammar and the view
+// is proper.
+func randomProperSubset(g *workflow.Grammar, rng *rand.Rand, target int) []string {
+	if !g.IsComposite(g.Start) || target <= 0 {
+		return nil
+	}
+	included := map[string]bool{g.Start: true}
+	order := []string{g.Start}
+	for len(order) < target {
+		// Candidate composites: occur in the RHS of a production of an
+		// included module and are not yet included.
+		candSet := map[string]bool{}
+		for _, p := range g.Productions {
+			if !included[p.LHS] {
+				continue
+			}
+			for _, node := range p.RHS.Nodes {
+				if g.IsComposite(node) && !included[node] {
+					candSet[node] = true
+				}
+			}
+		}
+		if len(candSet) == 0 {
+			break
+		}
+		cands := make([]string, 0, len(candSet))
+		for m := range candSet {
+			cands = append(cands, m)
+		}
+		sort.Strings(cands)
+		pick := cands[rng.Intn(len(cands))]
+		included[pick] = true
+		order = append(order, pick)
+	}
+	return order
+}

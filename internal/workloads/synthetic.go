@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/workflow"
+)
+
+// SyntheticParams are the four knobs of the synthetic workflow family of
+// Section 6.5 (Figure 26). The defaults are the paper's defaults.
+type SyntheticParams struct {
+	// WorkflowSize is the number of module occurrences in every production's
+	// right-hand side (default 40).
+	WorkflowSize int
+	// ModuleDegree is the number of input and output ports of every module
+	// (default 4).
+	ModuleDegree int
+	// NestingDepth is the number of nested recursion levels (default 4).
+	NestingDepth int
+	// RecursionLength is the number of composite modules on each recursion
+	// cycle (default 2).
+	RecursionLength int
+}
+
+// DefaultSyntheticParams returns the paper's default parameter values.
+func DefaultSyntheticParams() SyntheticParams {
+	return SyntheticParams{WorkflowSize: 40, ModuleDegree: 4, NestingDepth: 4, RecursionLength: 2}
+}
+
+func (p SyntheticParams) normalized() SyntheticParams {
+	d := DefaultSyntheticParams()
+	if p.WorkflowSize < 4 {
+		p.WorkflowSize = d.WorkflowSize
+	}
+	if p.ModuleDegree < 1 {
+		p.ModuleDegree = d.ModuleDegree
+	}
+	if p.NestingDepth < 1 {
+		p.NestingDepth = d.NestingDepth
+	}
+	if p.RecursionLength < 1 {
+		p.RecursionLength = d.RecursionLength
+	}
+	return p
+}
+
+// String renders the parameters for experiment reports.
+func (p SyntheticParams) String() string {
+	return fmt.Sprintf("size=%d degree=%d depth=%d recursion=%d",
+		p.WorkflowSize, p.ModuleDegree, p.NestingDepth, p.RecursionLength)
+}
+
+// Synthetic builds a member of the synthetic workflow family of Figure 26:
+// NestingDepth levels of composite modules C_{i,1} .. C_{i,R}; the modules of
+// each level form one recursion cycle of length R (C_{i,j} derives C_{i,j+1},
+// and C_{i,R} derives C_{i,1}); the first module of each level derives the
+// first module of the next level, producing the nested-recursion topology of
+// the figure. Every composite module has two productions (one that continues
+// its recursion and one that terminates it), every production's right-hand
+// side is padded with shared atomic modules to WorkflowSize occurrences, and
+// every module has ModuleDegree input and output ports.
+//
+// The resulting grammar is strictly linear-recursive (the level cycles are
+// vertex-disjoint) and, because every production's source and sink modules
+// are black boxes, safe for any choice of fine-grained dependencies on the
+// remaining atomic modules and under black-box views.
+func Synthetic(params SyntheticParams) *workflow.Specification {
+	p := params.normalized()
+	deg := p.ModuleDegree
+	b := workflow.NewBuilder()
+
+	// Shared pool of atomic middle modules with fine-grained dependencies.
+	const poolSize = 8
+	pool := make([]string, poolSize)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("atom%d", i)
+		b.Module(pool[i], deg, deg)
+		b.DepsMatrix(pool[i], fineDeps(deg, deg, i+1))
+	}
+
+	name := func(level, pos int) string { return fmt.Sprintf("C_%d_%d", level, pos) }
+
+	// Declare composite modules and their dedicated sources and sinks.
+	for level := 1; level <= p.NestingDepth; level++ {
+		for pos := 1; pos <= p.RecursionLength; pos++ {
+			n := name(level, pos)
+			b.Module(n, deg, deg)
+			b.Module("src_"+n, deg, deg)
+			b.Module("snk_"+n, deg, deg)
+			b.BlackBox("src_"+n, "snk_"+n)
+		}
+	}
+	b.Start(name(1, 1))
+
+	// pad fills a mid list up to WorkflowSize-2 occurrences with pool atomics.
+	pad := func(mids []string, salt int) []string {
+		target := p.WorkflowSize - 2
+		for len(mids) < target {
+			mids = append(mids, pool[(len(mids)+salt)%poolSize])
+		}
+		return mids
+	}
+
+	for level := 1; level <= p.NestingDepth; level++ {
+		for pos := 1; pos <= p.RecursionLength; pos++ {
+			n := name(level, pos)
+			nextInCycle := name(level, pos%p.RecursionLength+1)
+
+			// Recursive production: continue the level's cycle.
+			recMids := pad([]string{nextInCycle}, level+pos)
+			addChainProduction(b, chainSpec{lhs: n, src: "src_" + n, snk: "snk_" + n, mids: recMids, lanes: deg})
+
+			// Terminating production: for the first module of a level (other
+			// than the last level) it opens the next nesting level; otherwise
+			// it is a purely atomic body.
+			var termMids []string
+			if pos == 1 && level < p.NestingDepth {
+				termMids = []string{name(level+1, 1)}
+			}
+			termMids = pad(termMids, level+pos+3)
+			addChainProduction(b, chainSpec{lhs: n, src: "src_" + n, snk: "snk_" + n, mids: termMids, lanes: deg})
+		}
+	}
+
+	return b.MustBuild()
+}
