@@ -5,18 +5,34 @@
 // ordered sets of ports: entry (i, j) is true when port i of the first set
 // reaches (or is related to) port j of the second set. Matrices in this
 // package are value-ish: operations return fresh matrices and never alias
-// their operands' storage.
+// their operands' storage. Callers that sit on a hot path can opt into the
+// allocation-avoiding In variants (MulInto, OrInto, Zero), which reuse a
+// destination matrix's storage.
+//
+// Storage is packed: each row is a little-endian sequence of uint64 words,
+// one bit per column, so every kernel (product, disjunction, comparison,
+// population count) operates on 64 columns per machine instruction. The
+// boolean product A·B in particular is computed as a row-OR of bit-rows:
+// for every set bit k of row i of A, row k of B is ORed into row i of the
+// result. Invariant: the bits of the last word of each row beyond the
+// column count are always zero, so word-level comparisons and popcounts
+// never see phantom columns.
 package boolmat
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
+
+// wordBits is the number of columns packed into one storage word.
+const wordBits = 64
 
 // Matrix is a dense boolean matrix. The zero value is an empty 0x0 matrix.
 type Matrix struct {
 	rows, cols int
-	data       []bool // row-major, len == rows*cols
+	stride     int      // words per row: ceil(cols / 64)
+	bits       []uint64 // row-major bit-rows, len == rows*stride
 }
 
 // New returns a rows x cols matrix with all entries false.
@@ -25,25 +41,65 @@ func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("boolmat: negative dimension %dx%d", rows, cols))
 	}
-	return &Matrix{rows: rows, cols: cols, data: make([]bool, rows*cols)}
+	stride := (cols + wordBits - 1) / wordBits
+	return &Matrix{rows: rows, cols: cols, stride: stride, bits: make([]uint64, rows*stride)}
+}
+
+// Zero reshapes dst into a rows x cols all-false matrix, reusing its storage
+// when the capacity suffices, and returns it. A nil dst allocates. This is
+// the entry point of the In variants: repeated kernels on matrices of
+// similar shape stop allocating after the first call.
+func Zero(dst *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("boolmat: negative dimension %dx%d", rows, cols))
+	}
+	stride := (cols + wordBits - 1) / wordBits
+	n := rows * stride
+	if dst == nil || cap(dst.bits) < n {
+		return New(rows, cols)
+	}
+	dst.rows, dst.cols, dst.stride = rows, cols, stride
+	dst.bits = dst.bits[:n]
+	clear(dst.bits)
+	return dst
+}
+
+// Ones reshapes dst into a rows x cols all-true matrix, reusing its storage
+// when the capacity suffices, and returns it. A nil dst allocates.
+func Ones(dst *Matrix, rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("boolmat: negative dimension %dx%d", rows, cols))
+	}
+	dst = reshape(dst, rows, cols)
+	dst.Fill(true)
+	return dst
+}
+
+// reshape is Zero without the clearing, for kernels that overwrite every
+// destination word. The returned matrix's bits are garbage.
+func reshape(dst *Matrix, rows, cols int) *Matrix {
+	stride := (cols + wordBits - 1) / wordBits
+	n := rows * stride
+	if dst == nil || cap(dst.bits) < n {
+		return New(rows, cols)
+	}
+	dst.rows, dst.cols, dst.stride = rows, cols, stride
+	dst.bits = dst.bits[:n]
+	return dst
 }
 
 // Identity returns the n x n identity matrix.
 func Identity(n int) *Matrix {
 	m := New(n, n)
 	for i := 0; i < n; i++ {
-		m.Set(i, i, true)
+		m.setBit(i, i)
 	}
 	return m
 }
 
 // Full returns a rows x cols matrix with all entries true.
 func Full(rows, cols int) *Matrix {
-	m := New(rows, cols)
-	for i := range m.data {
-		m.data[i] = true
-	}
-	return m
+	return Ones(nil, rows, cols)
 }
 
 // FromRows builds a matrix from a slice of rows. All rows must have the same
@@ -58,7 +114,11 @@ func FromRows(rows [][]bool) *Matrix {
 		if len(r) != cols {
 			panic(fmt.Sprintf("boolmat: ragged rows: row %d has %d cols, want %d", i, len(r), cols))
 		}
-		copy(m.data[i*cols:(i+1)*cols], r)
+		for j, v := range r {
+			if v {
+				m.setBit(i, j)
+			}
+		}
 	}
 	return m
 }
@@ -69,16 +129,38 @@ func (m *Matrix) Rows() int { return m.rows }
 // Cols returns the number of columns.
 func (m *Matrix) Cols() int { return m.cols }
 
+// row returns the bit-row of row i.
+func (m *Matrix) row(i int) []uint64 {
+	return m.bits[i*m.stride : (i+1)*m.stride]
+}
+
+// tailMask is the mask of valid bits in the last word of each row. It is
+// meaningless when stride == 0 (zero columns).
+func (m *Matrix) tailMask() uint64 {
+	if r := m.cols % wordBits; r != 0 {
+		return 1<<r - 1
+	}
+	return ^uint64(0)
+}
+
+func (m *Matrix) setBit(i, j int) {
+	m.bits[i*m.stride+j/wordBits] |= 1 << (uint(j) % wordBits)
+}
+
 // Get reports the entry at (i, j). It panics on out-of-range indices.
 func (m *Matrix) Get(i, j int) bool {
 	m.check(i, j)
-	return m.data[i*m.cols+j]
+	return m.bits[i*m.stride+j/wordBits]>>(uint(j)%wordBits)&1 != 0
 }
 
 // Set assigns the entry at (i, j). It panics on out-of-range indices.
 func (m *Matrix) Set(i, j int, v bool) {
 	m.check(i, j)
-	m.data[i*m.cols+j] = v
+	if v {
+		m.bits[i*m.stride+j/wordBits] |= 1 << (uint(j) % wordBits)
+	} else {
+		m.bits[i*m.stride+j/wordBits] &^= 1 << (uint(j) % wordBits)
+	}
 }
 
 func (m *Matrix) check(i, j int) {
@@ -87,10 +169,27 @@ func (m *Matrix) check(i, j int) {
 	}
 }
 
+// Fill sets every entry to v.
+func (m *Matrix) Fill(v bool) {
+	if !v {
+		clear(m.bits)
+		return
+	}
+	for i := range m.bits {
+		m.bits[i] = ^uint64(0)
+	}
+	if m.stride > 0 {
+		mask := m.tailMask()
+		for i := 0; i < m.rows; i++ {
+			m.bits[(i+1)*m.stride-1] &= mask
+		}
+	}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
-	c := New(m.rows, m.cols)
-	copy(c.data, m.data)
+	c := &Matrix{rows: m.rows, cols: m.cols, stride: m.stride, bits: make([]uint64, len(m.bits))}
+	copy(c.bits, m.bits)
 	return c
 }
 
@@ -99,8 +198,8 @@ func (m *Matrix) Equal(o *Matrix) bool {
 	if m.rows != o.rows || m.cols != o.cols {
 		return false
 	}
-	for i := range m.data {
-		if m.data[i] != o.data[i] {
+	for i, w := range m.bits {
+		if w != o.bits[i] {
 			return false
 		}
 	}
@@ -109,8 +208,8 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // IsEmpty reports whether every entry is false.
 func (m *Matrix) IsEmpty() bool {
-	for _, v := range m.data {
-		if v {
+	for _, w := range m.bits {
+		if w != 0 {
 			return false
 		}
 	}
@@ -119,9 +218,20 @@ func (m *Matrix) IsEmpty() bool {
 
 // IsFull reports whether every entry is true. The 0x0 matrix is full.
 func (m *Matrix) IsFull() bool {
-	for _, v := range m.data {
-		if !v {
-			return false
+	if m.rows == 0 || m.cols == 0 {
+		return true
+	}
+	mask := m.tailMask()
+	for i := 0; i < m.rows; i++ {
+		row := m.row(i)
+		for w, word := range row {
+			want := ^uint64(0)
+			if w == len(row)-1 {
+				want = mask
+			}
+			if word != want {
+				return false
+			}
 		}
 	}
 	return true
@@ -133,10 +243,8 @@ func (m *Matrix) Any() bool { return !m.IsEmpty() }
 // CountTrue returns the number of true entries.
 func (m *Matrix) CountTrue() int {
 	n := 0
-	for _, v := range m.data {
-		if v {
-			n++
-		}
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -145,9 +253,11 @@ func (m *Matrix) CountTrue() int {
 func (m *Matrix) Transpose() *Matrix {
 	t := New(m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			if m.data[i*m.cols+j] {
-				t.data[j*t.cols+i] = true
+		for w, word := range m.row(i) {
+			for word != 0 {
+				j := w*wordBits + bits.TrailingZeros64(word)
+				word &= word - 1
+				t.setBit(j, i)
 			}
 		}
 	}
@@ -157,43 +267,68 @@ func (m *Matrix) Transpose() *Matrix {
 // Mul returns the boolean matrix product m x o (logical OR of ANDs).
 // It panics when the inner dimensions disagree.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
-	if m.cols != o.rows {
-		panic(fmt.Sprintf("boolmat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	return MulInto(nil, m, o)
+}
+
+// MulInto computes the boolean product a x b into dst, reusing dst's storage
+// when possible (a nil dst allocates), and returns the destination. dst must
+// not be a or b. It panics when the inner dimensions disagree.
+//
+// The kernel is word-parallel: for every set bit k of bit-row i of a, the
+// whole bit-row k of b is ORed into bit-row i of the result, covering 64
+// columns of b per instruction.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("boolmat: cannot multiply %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	p := New(m.rows, o.cols)
-	for i := 0; i < m.rows; i++ {
-		for k := 0; k < m.cols; k++ {
-			if !m.data[i*m.cols+k] {
-				continue
-			}
-			for j := 0; j < o.cols; j++ {
-				if o.data[k*o.cols+j] {
-					p.data[i*p.cols+j] = true
+	if dst == a || dst == b {
+		panic("boolmat: MulInto destination aliases an operand")
+	}
+	dst = Zero(dst, a.rows, b.cols)
+	if dst.stride == 0 {
+		return dst
+	}
+	for i := 0; i < a.rows; i++ {
+		drow := dst.row(i)
+		for w, word := range a.row(i) {
+			base := w * wordBits
+			for word != 0 {
+				k := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				brow := b.bits[k*b.stride : (k+1)*b.stride]
+				for x, bw := range brow {
+					drow[x] |= bw
 				}
 			}
 		}
 	}
-	return p
+	return dst
 }
 
 // Or returns the element-wise disjunction of m and o.
 // It panics when dimensions differ.
 func (m *Matrix) Or(o *Matrix) *Matrix {
-	if m.rows != o.rows || m.cols != o.cols {
-		panic(fmt.Sprintf("boolmat: cannot OR %dx%d with %dx%d", m.rows, m.cols, o.rows, o.cols))
+	return OrInto(nil, m, o)
+}
+
+// OrInto computes the element-wise disjunction of a and b into dst, reusing
+// dst's storage when possible (a nil dst allocates), and returns the
+// destination. dst may alias a or b. It panics when dimensions differ.
+func OrInto(dst, a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("boolmat: cannot OR %dx%d with %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	r := m.Clone()
-	for i, v := range o.data {
-		if v {
-			r.data[i] = true
-		}
+	dst = reshape(dst, a.rows, a.cols)
+	for i := range dst.bits {
+		dst.bits[i] = a.bits[i] | b.bits[i]
 	}
-	return r
+	return dst
 }
 
 // Pow returns m raised to the k-th power under boolean matrix multiplication,
-// computed by repeated squaring in O(log k) multiplications. Pow(0) is the
-// identity. It panics if m is not square or k is negative.
+// computed by repeated squaring in O(log k) multiplications with two reused
+// scratch matrices. Pow(0) is the identity. It panics if m is not square or
+// k is negative.
 func (m *Matrix) Pow(k int) *Matrix {
 	if m.rows != m.cols {
 		panic(fmt.Sprintf("boolmat: Pow on non-square %dx%d matrix", m.rows, m.cols))
@@ -203,28 +338,42 @@ func (m *Matrix) Pow(k int) *Matrix {
 	}
 	result := Identity(m.rows)
 	base := m.Clone()
+	var tr, tb *Matrix // scratch: ping-pong partners of result and base
 	for k > 0 {
 		if k&1 == 1 {
-			result = result.Mul(base)
+			tr = MulInto(tr, result, base)
+			result, tr = tr, result
 		}
-		base = base.Mul(base)
 		k >>= 1
+		if k == 0 {
+			break
+		}
+		tb = MulInto(tb, base, base)
+		base, tb = tb, base
 	}
 	return result
 }
 
-// Product multiplies the given matrices left to right. With no arguments it
-// panics because the dimension of the identity is unknown; with a single
-// argument it returns a clone of that matrix.
+// Product multiplies the given matrices left to right, ping-ponging between
+// two scratch buffers so a chain of any length performs at most two
+// allocations. With no arguments it panics because the dimension of the
+// identity is unknown; with a single argument it returns a clone of that
+// matrix.
 func Product(ms ...*Matrix) *Matrix {
 	if len(ms) == 0 {
 		panic("boolmat: Product of no matrices")
 	}
-	r := ms[0].Clone()
-	for _, m := range ms[1:] {
-		r = r.Mul(m)
+	if len(ms) == 1 {
+		return ms[0].Clone()
 	}
-	return r
+	var bufs [2]*Matrix
+	cur := ms[0]
+	for idx, m := range ms[1:] {
+		i := idx & 1
+		bufs[i] = MulInto(bufs[i], cur, m)
+		cur = bufs[i]
+	}
+	return cur
 }
 
 // String renders the matrix as rows of 0/1 characters, e.g. "[10|01]".
@@ -236,7 +385,7 @@ func (m *Matrix) String() string {
 			b.WriteByte('|')
 		}
 		for j := 0; j < m.cols; j++ {
-			if m.data[i*m.cols+j] {
+			if m.Get(i, j) {
 				b.WriteByte('1')
 			} else {
 				b.WriteByte('0')
@@ -270,6 +419,7 @@ func FindPeriod(x *Matrix) *PowerPeriod {
 	}
 	var powers []*Matrix
 	cur := x.Clone()
+	var tmp *Matrix // scratch: ping-pong partner of cur
 	for {
 		for a, p := range powers {
 			if p.Equal(cur) {
@@ -283,7 +433,8 @@ func FindPeriod(x *Matrix) *PowerPeriod {
 			}
 		}
 		powers = append(powers, cur.Clone())
-		cur = cur.Mul(x)
+		tmp = MulInto(tmp, cur, x)
+		cur, tmp = tmp, cur
 	}
 }
 

@@ -33,20 +33,45 @@ func (s *Scheme) moduleAt(path []EdgeLabel) (workflow.Module, error) {
 	return cur, nil
 }
 
-// mul multiplies two reachability matrices. When the label is in matrix-free
-// mode (Section 6.4), products of complete or empty matrices are
-// short-circuited, which preserves correctness and avoids most of the matrix
-// arithmetic on coarse-grained views.
-func (vl *ViewLabel) mul(a, b *boolmat.Matrix) *boolmat.Matrix {
+// mulInto multiplies two reachability matrices into dst (which must not
+// alias a or b; nil allocates). When the label is in matrix-free mode
+// (Section 6.4), products of complete or empty matrices are short-circuited,
+// which preserves correctness and avoids most of the matrix arithmetic on
+// coarse-grained views.
+func (vl *ViewLabel) mulInto(dst, a, b *boolmat.Matrix) *boolmat.Matrix {
 	if vl.matrixFree {
 		if a.IsEmpty() || b.IsEmpty() {
-			return boolmat.New(a.Rows(), b.Cols())
+			return boolmat.Zero(dst, a.Rows(), b.Cols())
 		}
 		if a.Cols() > 0 && a.IsFull() && b.IsFull() {
-			return boolmat.Full(a.Rows(), b.Cols())
+			return boolmat.Ones(dst, a.Rows(), b.Cols())
 		}
 	}
-	return a.Mul(b)
+	return boolmat.MulInto(dst, a, b)
+}
+
+// chainProduct folds a sequence of edge matrices left to right, ping-ponging
+// between two scratch buffers so a chain of any length performs at most two
+// matrix allocations. The first factor may be a cached matrix and is never
+// written to; the returned matrix is either that first factor (single-element
+// chains) or one of the scratch buffers.
+func (vl *ViewLabel) chainProduct(path []EdgeLabel, from int, get func(EdgeLabel) (*boolmat.Matrix, error)) (*boolmat.Matrix, error) {
+	result, err := get(path[from])
+	if err != nil {
+		return nil, err
+	}
+	var bufs [2]*boolmat.Matrix
+	cur := 0
+	for _, e := range path[from+1:] {
+		m, err := get(e)
+		if err != nil {
+			return nil, err
+		}
+		bufs[cur] = vl.mulInto(bufs[cur], result, m)
+		result = bufs[cur]
+		cur ^= 1
+	}
+	return result, nil
 }
 
 // inputsProduct returns the product of Inputs over path[from:]: the
@@ -61,18 +86,7 @@ func (vl *ViewLabel) inputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix,
 		}
 		return boolmat.Identity(mod.In), nil
 	}
-	result, err := vl.Inputs(path[from])
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range path[from+1:] {
-		m, err := vl.Inputs(e)
-		if err != nil {
-			return nil, err
-		}
-		result = vl.mul(result, m)
-	}
-	return result, nil
+	return vl.chainProduct(path, from, vl.Inputs)
 }
 
 // outputsProduct returns the product of Outputs over path[from:]: the
@@ -86,18 +100,7 @@ func (vl *ViewLabel) outputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix
 		}
 		return boolmat.Identity(mod.Out), nil
 	}
-	result, err := vl.Outputs(path[from])
-	if err != nil {
-		return nil, err
-	}
-	for _, e := range path[from+1:] {
-		m, err := vl.Outputs(e)
-		if err != nil {
-			return nil, err
-		}
-		result = vl.mul(result, m)
-	}
-	return result, nil
+	return vl.chainProduct(path, from, vl.Outputs)
 }
 
 // DependsOn is the decoding predicate π of the view-adaptive labeling scheme
@@ -201,7 +204,9 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		res := vl.mul(vl.mul(o.Transpose(), z), in)
+		ot := o.Transpose()
+		t1 := vl.mulInto(nil, ot, z)
+		res := vl.mulInto(ot, t1, in) // ot's storage is free again; reuse it
 		return vl.safeGet(res, x, y)
 	}
 
@@ -251,7 +256,10 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		res := vl.mul(vl.mul(vl.mul(o.Transpose(), z), iChain), in)
+		ot := o.Transpose()
+		t1 := vl.mulInto(nil, ot, z)
+		t2 := vl.mulInto(ot, t1, iChain) // ping-pong through the two temporaries
+		res := vl.mulInto(t1, t2, in)
 		return vl.safeGet(res, x, y)
 
 	case i > j:
@@ -291,7 +299,10 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		res := vl.mul(vl.mul(vl.mul(o.Transpose(), oChain.Transpose()), z), in)
+		ot := o.Transpose()
+		t1 := vl.mulInto(nil, ot, oChain.Transpose())
+		t2 := vl.mulInto(ot, t1, z) // ping-pong through the two temporaries
+		res := vl.mulInto(t1, t2, in)
 		return vl.safeGet(res, x, y)
 
 	default:

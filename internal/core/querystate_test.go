@@ -1,0 +1,88 @@
+package core
+
+// Internal tests for the per-query closure cache invariant: closures computed
+// on the graph-search path (VariantSpaceEfficient) are scoped to one query.
+// Reusing them across queries would make the space-efficient variant cheat in
+// the Figure 20 experiment, which charges it the full graph-search cost per
+// query.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/safety"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// spaceEfficientQuery returns a space-efficient view label together with a
+// label pair whose query is answered via closureFor (i.e. it populates the
+// closure cache).
+func spaceEfficientQuery(t *testing.T) (*ViewLabel, *DataLabel, *DataLabel) {
+	t.Helper()
+	spec := workloads.PaperExample()
+	scheme, err := NewScheme(spec)
+	if err != nil {
+		t.Fatalf("building scheme: %v", err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 120, Rand: rand.New(rand.NewSource(21))})
+	if err != nil {
+		t.Fatalf("deriving run: %v", err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatalf("labeling run: %v", err)
+	}
+	vl, err := scheme.LabelView(view.Default(spec), VariantSpaceEfficient)
+	if err != nil {
+		t.Fatalf("labeling view: %v", err)
+	}
+	for _, d1 := range r.Items {
+		for _, d2 := range r.Items {
+			l1, _ := labeler.Label(d1.ID)
+			l2, _ := labeler.Label(d2.ID)
+			if _, err := vl.DependsOn(l1, l2); err != nil {
+				t.Fatalf("DependsOn: %v", err)
+			}
+			if len(vl.closureCache) > 0 {
+				return vl, l1, l2
+			}
+		}
+	}
+	t.Fatalf("no query populated the closure cache")
+	return nil, nil, nil
+}
+
+func TestSpaceEfficientQueriesDoNotReuseClosures(t *testing.T) {
+	vl, l1, l2 := spaceEfficientQuery(t)
+
+	// Snapshot the closures the first query computed, then ask again: the
+	// second query must recompute every closure from scratch.
+	first := make(map[int]*safety.Closure, len(vl.closureCache))
+	for k, cl := range vl.closureCache {
+		first[k] = cl
+	}
+	if _, err := vl.DependsOn(l1, l2); err != nil {
+		t.Fatalf("second DependsOn: %v", err)
+	}
+	if len(vl.closureCache) == 0 {
+		t.Fatalf("second query did not populate the closure cache")
+	}
+	for k, cl := range vl.closureCache {
+		if prev, ok := first[k]; ok && prev == cl {
+			t.Fatalf("closure for production %d survived from the previous query", k)
+		}
+	}
+}
+
+func TestResetQueryStateDropsCacheForAllVariants(t *testing.T) {
+	// The invariant is enforced unconditionally: even if a label of another
+	// variant ever ends up with a populated cache, a new query must drop it.
+	for _, variant := range []Variant{VariantSpaceEfficient, VariantDefault, VariantQueryEfficient} {
+		vl := &ViewLabel{variant: variant, closureCache: map[int]*safety.Closure{1: nil}}
+		vl.resetQueryState()
+		if vl.closureCache != nil {
+			t.Fatalf("resetQueryState kept the closure cache for variant %v", variant)
+		}
+	}
+}

@@ -95,9 +95,14 @@ type ViewLabel struct {
 	inRec  map[[2]int]*recChain
 	outRec map[[2]int]*recChain
 
-	// closureCache caches on-the-fly closures for VariantSpaceEfficient so a
-	// single query does not recompute the same production twice; it is reset
-	// at the start of every query to keep the variant honest about its cost.
+	// closureCache caches on-the-fly closures so a single query does not
+	// recompute the same production twice. Invariant: it is only ever
+	// populated on the graph-search path (closureFor), i.e. when the
+	// materialized matrices are absent — in practice VariantSpaceEfficient —
+	// and it never survives from one query to the next: resetQueryState
+	// drops it unconditionally at the start of every query, keeping the
+	// space-efficient variant honest about paying its graph-search cost per
+	// query, as in the paper's experiments.
 	closureCache map[int]*safety.Closure
 
 	// matrixFree enables the short-circuited decoding of Section 6.4
@@ -339,11 +344,13 @@ func (vl *ViewLabel) closureFor(k int) (*safety.Closure, error) {
 }
 
 // resetQueryState drops per-query caches so the space-efficient variant pays
-// its graph-search cost on every query, as in the paper's experiments.
+// its graph-search cost on every query, as in the paper's experiments. The
+// cache is dropped regardless of variant: closureFor fills it lazily whenever
+// the materialized matrices are absent, so clearing only one variant would
+// silently let closures of any other lazily-computed configuration leak
+// across queries.
 func (vl *ViewLabel) resetQueryState() {
-	if vl.variant == VariantSpaceEfficient {
-		vl.closureCache = nil
-	}
+	vl.closureCache = nil
 }
 
 // Inputs implements procedure Inputs of Algorithm 1: given an edge label of
@@ -417,8 +424,12 @@ func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Ma
 	x := boolmat.Product(block...)
 	q, r := n/l, n%l
 	result := x.Pow(q)
+	var spare *boolmat.Matrix
 	for a := 0; a < r; a++ {
-		result = result.Mul(block[a])
+		// result is owned (Pow returns a fresh matrix), so the remainder of
+		// the chain can ping-pong between it and one scratch buffer.
+		spare = boolmat.MulInto(spare, result, block[a])
+		result, spare = spare, result
 	}
 	return result, nil
 }

@@ -75,8 +75,6 @@ func New(v *view.View) (*Labeler, error) {
 		Restricted: restricted,
 		scheme:     scheme,
 		viewLabel:  vl.WithMatrixFree(),
-		instMap:    map[int]int{},
-		itemMap:    map[int]int{},
 		prodMap:    prodMap,
 	}, nil
 }
@@ -131,6 +129,11 @@ func (l *Labeler) OnInit(r *run.Run) error {
 	if err := l.projected.AddObserver(l.labeler); err != nil {
 		return err
 	}
+	// Relabeling a whole run per view is DRL's multi-view hot path (Figures
+	// 21-22): size the id maps for the run up front so the 10k-item runs of
+	// the experiments do not pay for incremental map growth.
+	l.instMap = make(map[int]int, len(r.Instances))
+	l.itemMap = make(map[int]int, len(r.Items))
 	l.instMap[0] = 0
 	// The initial items of the original run and of the projected run are
 	// created in the same order (inputs of the start module, then outputs).

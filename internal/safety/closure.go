@@ -24,8 +24,11 @@ type Closure struct {
 	initIn   []workflow.PortRef // initial inputs in canonical order
 	finalOut []workflow.PortRef // final outputs in canonical order
 
-	// reach[v] is the set of port-graph vertices reachable from vertex v.
-	reach [][]bool
+	// reach is the packed reachability relation of the port graph: row v
+	// (stride words starting at v*stride) is the bitset of vertices reachable
+	// from vertex v.
+	reach  []uint64
+	stride int
 	// vertex ids
 	inBase  []int // inBase[node] + port  = vertex of input port
 	outBase []int // outBase[node] + port = vertex of output port
@@ -92,26 +95,81 @@ func NewClosure(mods workflow.ModuleLookup, w *workflow.SimpleWorkflow, deps wor
 		adj[c.outBase[e.FromNode]+e.FromPort] = append(adj[c.outBase[e.FromNode]+e.FromPort], c.inBase[e.ToNode]+e.ToPort)
 	}
 
-	// Transitive, reflexive reachability from every vertex (the workflows are
-	// small; a BFS per vertex is fine and keeps the code obvious).
-	c.reach = make([][]bool, c.n)
-	for v := 0; v < c.n; v++ {
-		seen := make([]bool, c.n)
-		seen[v] = true
-		queue := []int{v}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, next := range adj[cur] {
-				if !seen[next] {
-					seen[next] = true
-					queue = append(queue, next)
+	// Transitive, reflexive reachability from every vertex, as packed bitset
+	// rows: instead of one BFS per vertex (O(V*E) boolean operations), the
+	// rows are combined with word-parallel ORs, 64 vertices per instruction.
+	c.stride = (c.n + 63) / 64
+	c.reach = make([]uint64, c.n*c.stride)
+	order, acyclic := topoOrder(c.n, adj)
+	if acyclic {
+		// Port graphs of well-formed simple workflows are DAGs: process the
+		// vertices in reverse topological order, so every successor's row is
+		// final when it is ORed in, and one pass suffices:
+		// reach(v) = {v} ∪ ⋃_{(v,u)∈E} reach(u).
+		for idx := len(order) - 1; idx >= 0; idx-- {
+			v := order[idx]
+			row := c.reach[v*c.stride : (v+1)*c.stride]
+			row[v/64] |= 1 << (uint(v) % 64)
+			for _, next := range adj[v] {
+				nrow := c.reach[next*c.stride : (next+1)*c.stride]
+				for w := range row {
+					row[w] |= nrow[w]
 				}
 			}
 		}
-		c.reach[v] = seen
+		return c, nil
+	}
+	// Cyclic port graph (rejected later by the safety analysis, but the
+	// closure stays total): word-parallel sweeps to a fixpoint.
+	for v := 0; v < c.n; v++ {
+		c.reach[v*c.stride+v/64] |= 1 << (uint(v) % 64)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < c.n; v++ {
+			row := c.reach[v*c.stride : (v+1)*c.stride]
+			for _, next := range adj[v] {
+				nrow := c.reach[next*c.stride : (next+1)*c.stride]
+				for w := range row {
+					if or := row[w] | nrow[w]; or != row[w] {
+						row[w] = or
+						changed = true
+					}
+				}
+			}
+		}
 	}
 	return c, nil
+}
+
+// topoOrder returns a topological order of the n-vertex graph and whether the
+// graph is acyclic (when it is not, the returned order is partial).
+func topoOrder(n int, adj [][]int) ([]int, bool) {
+	indeg := make([]int, n)
+	for _, outs := range adj {
+		for _, v := range outs {
+			indeg[v]++
+		}
+	}
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			order = append(order, v)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, v := range adj[order[head]] {
+			if indeg[v]--; indeg[v] == 0 {
+				order = append(order, v)
+			}
+		}
+	}
+	return order, len(order) == n
+}
+
+// reachBit reports whether vertex v is reachable from vertex u.
+func (c *Closure) reachBit(u, v int) bool {
+	return c.reach[u*c.stride+v/64]>>(uint(v)%64)&1 != 0
 }
 
 // InitialInputCount returns the number of initial input ports of W.
@@ -131,7 +189,7 @@ func (c *Closure) portVertex(p workflow.PortRef) int {
 // within W (following dependency edges inside nodes and data edges between
 // nodes). A port is reachable from itself.
 func (c *Closure) ReachablePorts(from, to workflow.PortRef) bool {
-	return c.reach[c.portVertex(from)][c.portVertex(to)]
+	return c.reachBit(c.portVertex(from), c.portVertex(to))
 }
 
 // LHSMatrix returns the matrix from W's initial inputs to W's final outputs:
@@ -156,7 +214,7 @@ func (c *Closure) InputsTo(i int) *boolmat.Matrix {
 	m := boolmat.New(len(c.initIn), c.decls[i].In)
 	for x, in := range c.initIn {
 		for y := 0; y < c.decls[i].In; y++ {
-			if c.reach[c.portVertex(in)][c.inBase[i]+y] {
+			if c.reachBit(c.portVertex(in), c.inBase[i]+y) {
 				m.Set(x, y, true)
 			}
 		}
@@ -170,7 +228,7 @@ func (c *Closure) OutputsTo(i int) *boolmat.Matrix {
 	m := boolmat.New(len(c.finalOut), c.decls[i].Out)
 	for x, out := range c.finalOut {
 		for y := 0; y < c.decls[i].Out; y++ {
-			if c.reach[c.outBase[i]+y][c.portVertex(out)] {
+			if c.reachBit(c.outBase[i]+y, c.portVertex(out)) {
 				m.Set(x, y, true)
 			}
 		}
@@ -188,7 +246,7 @@ func (c *Closure) Between(i, j int) *boolmat.Matrix {
 	}
 	for x := 0; x < c.decls[i].Out; x++ {
 		for y := 0; y < c.decls[j].In; y++ {
-			if c.reach[c.outBase[i]+x][c.inBase[j]+y] {
+			if c.reachBit(c.outBase[i]+x, c.inBase[j]+y) {
 				m.Set(x, y, true)
 			}
 		}
