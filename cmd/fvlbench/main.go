@@ -8,7 +8,12 @@
 //	fvlbench                      # run every experiment at paper scale
 //	fvlbench -quick               # reduced scale (seconds instead of minutes)
 //	fvlbench -experiments fig17,fig21
+//	fvlbench -experiments engine -parallel 8
 //	fvlbench -o results.txt       # also write the report to a file
+//
+// The engine experiment measures the concurrent serving layer (batch query
+// throughput and parallel multi-view labeling); -parallel caps its worker
+// sweep, defaulting to GOMAXPROCS.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed shared by all experiments")
 	samples := flag.Int("samples", 0, "override the number of sample runs per data point")
 	queries := flag.Int("queries", 0, "override the number of sample queries per measurement")
+	parallel := flag.Int("parallel", 0, "largest worker count of the engine experiment's sweep (0 = GOMAXPROCS)")
 	output := flag.String("o", "", "also write the report to this file")
 	list := flag.Bool("list", false, "list the available experiments and exit")
 	flag.Parse()
@@ -50,6 +56,9 @@ func main() {
 	}
 	if *queries > 0 {
 		cfg.Queries = *queries
+	}
+	if *parallel > 0 {
+		cfg.Workers = *parallel
 	}
 
 	var experiments []bench.Experiment

@@ -38,6 +38,9 @@ type Config struct {
 	MultiViewRunSize int
 	// MaxViews is the largest view count of Figures 21 and 22.
 	MaxViews int
+	// Workers caps the worker sweep of the concurrent-serving experiment
+	// (the engine table); 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's experimental scale.
@@ -137,6 +140,7 @@ func All() []Experiment {
 		{"fig24", "Data label length vs nesting depth (synthetic)", Fig24},
 		{"fig25", "Query time vs module degree (synthetic)", Fig25},
 		{"table1", "Impact of synthetic parameters on labeling performance", Table1},
+		{"engine", "Batch query throughput and parallel multi-view labeling vs worker count", EngineThroughput},
 	}
 }
 

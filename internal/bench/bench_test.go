@@ -106,7 +106,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatalf("unknown experiment must not resolve")
 	}
-	if len(All()) != 10 {
-		t.Fatalf("expected 10 experiments (9 figures + table 1), got %d", len(All()))
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 experiments (9 figures + table 1 + engine), got %d", len(All()))
 	}
 }

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/drl"
+	"repro/internal/engine"
+	"repro/internal/view"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// EngineThroughput is not a figure of the paper: it measures the serving
+// layer this reproduction adds on top of Section 6 — the concurrent batch
+// query engine of internal/engine and DRL's parallel multi-view labeling —
+// as the worker count grows. Labels are read-only at query time since the
+// query-context refactor, so both workloads should scale with the worker
+// pool while the per-query cost accounting of Figure 20 stays intact.
+func EngineThroughput(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	r, labeler, _, err := labeledBioAIDRun(scheme, cfg.MultiViewRunSize, cfg.Seed+1600)
+	if err != nil {
+		return nil, err
+	}
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "engine", Composites: 8, Mode: workloads.GreyBox, Rand: newRand(cfg.Seed + 1700),
+	})
+	if err != nil {
+		return nil, err
+	}
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return nil, err
+	}
+	count := cfg.Queries
+	if count > 100000 {
+		count = 100000
+	}
+	pairs, err := visibleLabelPairs(labeler, r, v, count, cfg.Seed+1800)
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]engine.Query, len(pairs))
+	for i, p := range pairs {
+		queries[i] = engine.Query{D1: p[0], D2: p[1]}
+	}
+
+	// The multi-view labeling workload of Figures 21-22: MaxViews black-box
+	// views, each requiring one full relabeling of the run.
+	views, err := mediumBlackBoxViews(spec, cfg.MaxViews, cfg.Seed+1900)
+	if err != nil {
+		return nil, err
+	}
+
+	maxWorkers := cfg.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	t := &Table{
+		Name:  "engine",
+		Title: fmt.Sprintf("Concurrent serving: %d-query batches and %d-view relabeling vs worker count", len(queries), len(views)),
+		Columns: []string{
+			"workers", "queries/s", "speedup", "multi-view label (ms)", "speedup",
+		},
+		Notes: "both columns should scale with the worker count; single-query latency is unchanged (Fig 20)",
+	}
+	// Warm up the context pool and the allocator once so the first measured
+	// point (the workers=1 baseline every speedup is relative to) is not
+	// charged for it.
+	for _, res := range engine.New(1).DependsOnBatch(vl, queries) {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+	}
+
+	samples := cfg.SamplesPerPoint
+	if samples < 1 {
+		samples = 1
+	}
+	var baseQuery, baseLabel time.Duration
+	for _, workers := range engine.WorkerSweep(maxWorkers) {
+		e := engine.New(workers)
+		var queryTime, labelTime time.Duration
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			results := e.DependsOnBatch(vl, queries)
+			queryTime += time.Since(start)
+			for _, res := range results {
+				if res.Err != nil {
+					return nil, res.Err
+				}
+			}
+
+			start = time.Now()
+			if _, err := drl.LabelRunViews(views, r, workers); err != nil {
+				return nil, err
+			}
+			labelTime += time.Since(start)
+		}
+		queryTime /= time.Duration(samples)
+		labelTime /= time.Duration(samples)
+
+		if workers == 1 {
+			baseQuery, baseLabel = queryTime, labelTime
+		}
+		qps := float64(len(queries)) / queryTime.Seconds()
+		t.Rows = append(t.Rows, []string{
+			fmtCount(workers),
+			fmt.Sprintf("%.0f", qps),
+			fmtRatio(baseQuery.Seconds() / queryTime.Seconds()),
+			fmtMs(labelTime),
+			fmtRatio(baseLabel.Seconds() / labelTime.Seconds()),
+		})
+	}
+	return t, nil
+}
+
+// mediumBlackBoxViews builds n medium-sized black-box views, the per-view
+// workload of the multi-view experiments.
+func mediumBlackBoxViews(spec *workflow.Specification, n int, seed int64) ([]*view.View, error) {
+	var views []*view.View
+	for i := 0; i < n; i++ {
+		v, err := workloads.RandomView(spec, workloads.ViewOptions{
+			Name:       fmt.Sprintf("engine-view-%d", i+1),
+			Composites: 8,
+			Mode:       workloads.BlackBox,
+			Rand:       newRand(seed + int64(i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	return views, nil
+}

@@ -90,11 +90,7 @@ func reshape(dst *Matrix, rows, cols int) *Matrix {
 
 // Identity returns the n x n identity matrix.
 func Identity(n int) *Matrix {
-	m := New(n, n)
-	for i := 0; i < n; i++ {
-		m.setBit(i, i)
-	}
-	return m
+	return IdentityInto(nil, n)
 }
 
 // Full returns a rows x cols matrix with all entries true.
@@ -251,17 +247,37 @@ func (m *Matrix) CountTrue() int {
 
 // Transpose returns the transpose of m.
 func (m *Matrix) Transpose() *Matrix {
-	t := New(m.cols, m.rows)
+	return TransposeInto(nil, m)
+}
+
+// TransposeInto computes the transpose of m into dst, reusing dst's storage
+// when possible (a nil dst allocates), and returns the destination. dst must
+// not be m.
+func TransposeInto(dst, m *Matrix) *Matrix {
+	if dst == m && m != nil {
+		panic("boolmat: TransposeInto destination aliases the operand")
+	}
+	dst = Zero(dst, m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		for w, word := range m.row(i) {
 			for word != 0 {
 				j := w*wordBits + bits.TrailingZeros64(word)
 				word &= word - 1
-				t.setBit(j, i)
+				dst.setBit(j, i)
 			}
 		}
 	}
-	return t
+	return dst
+}
+
+// IdentityInto reshapes dst into the n x n identity matrix, reusing its
+// storage when possible (a nil dst allocates), and returns the destination.
+func IdentityInto(dst *Matrix, n int) *Matrix {
+	dst = Zero(dst, n, n)
+	for i := 0; i < n; i++ {
+		dst.setBit(i, i)
+	}
+	return dst
 }
 
 // Mul returns the boolean matrix product m x o (logical OR of ANDs).

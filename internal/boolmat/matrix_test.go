@@ -119,6 +119,40 @@ func TestTranspose(t *testing.T) {
 	}
 }
 
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var dst *Matrix
+	// Reuse one destination across shrinking and growing shapes, including
+	// widths that straddle the 64-bit word boundary.
+	for _, dims := range [][2]int{{5, 70}, {70, 5}, {1, 64}, {64, 1}, {3, 3}, {0, 4}} {
+		m := randomMatrix(rng, dims[0], dims[1])
+		dst = TransposeInto(dst, m)
+		if !dst.Equal(m.Transpose()) {
+			t.Fatalf("TransposeInto mismatch on %dx%d", dims[0], dims[1])
+		}
+	}
+}
+
+func TestTransposeIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("TransposeInto(m, m) did not panic")
+		}
+	}()
+	m := Identity(3)
+	TransposeInto(m, m)
+}
+
+func TestIdentityInto(t *testing.T) {
+	var dst *Matrix
+	for _, n := range []int{5, 65, 1, 0, 64} {
+		dst = IdentityInto(dst, n)
+		if !dst.Equal(Identity(n)) {
+			t.Fatalf("IdentityInto(%d) is not the identity", n)
+		}
+	}
+}
+
 func TestOr(t *testing.T) {
 	a := FromRows([][]bool{{true, false}})
 	b := FromRows([][]bool{{false, true}})

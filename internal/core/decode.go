@@ -50,57 +50,69 @@ func (vl *ViewLabel) mulInto(dst, a, b *boolmat.Matrix) *boolmat.Matrix {
 	return boolmat.MulInto(dst, a, b)
 }
 
+// mulScratch multiplies a x b into a fresh scratch slot of the query
+// context. Distinct calls use distinct slots, so earlier intermediate
+// results of the same query are never clobbered.
+func (vl *ViewLabel) mulScratch(qc *queryCtx, a, b *boolmat.Matrix) *boolmat.Matrix {
+	i := qc.take()
+	qc.scratch[i] = vl.mulInto(qc.scratch[i], a, b)
+	return qc.scratch[i]
+}
+
 // chainProduct folds a sequence of edge matrices left to right, ping-ponging
-// between two scratch buffers so a chain of any length performs at most two
-// matrix allocations. The first factor may be a cached matrix and is never
-// written to; the returned matrix is either that first factor (single-element
-// chains) or one of the scratch buffers.
-func (vl *ViewLabel) chainProduct(path []EdgeLabel, from int, get func(EdgeLabel) (*boolmat.Matrix, error)) (*boolmat.Matrix, error) {
-	result, err := get(path[from])
+// between two scratch slots of the query context so a chain of any length
+// uses at most two matrices of storage. The first factor may be a matrix
+// cached in the label and is never written to; the returned matrix is either
+// that first factor (single-element chains) or one of the two slots.
+func (vl *ViewLabel) chainProduct(qc *queryCtx, path []EdgeLabel, from int, outputs bool) (*boolmat.Matrix, error) {
+	result, err := vl.edgeMatrix(qc, path[from], outputs)
 	if err != nil {
 		return nil, err
 	}
-	var bufs [2]*boolmat.Matrix
+	if from+1 >= len(path) {
+		return result, nil
+	}
+	bufs := [2]int{qc.take(), qc.take()}
 	cur := 0
 	for _, e := range path[from+1:] {
-		m, err := get(e)
+		m, err := vl.edgeMatrix(qc, e, outputs)
 		if err != nil {
 			return nil, err
 		}
-		bufs[cur] = vl.mulInto(bufs[cur], result, m)
-		result = bufs[cur]
+		qc.scratch[bufs[cur]] = vl.mulInto(qc.scratch[bufs[cur]], result, m)
+		result = qc.scratch[bufs[cur]]
 		cur ^= 1
 	}
 	return result, nil
 }
 
-// inputsProduct returns the product of Inputs over path[from:]: the
+// inputsProduct returns the product of the I matrices over path[from:]: the
 // reachability matrix from the inputs of the module at path[:from] to the
 // inputs of the module at the end of the path. An empty segment yields the
 // identity.
-func (vl *ViewLabel) inputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) inputsProduct(qc *queryCtx, path []EdgeLabel, from int) (*boolmat.Matrix, error) {
 	if from >= len(path) {
 		mod, err := vl.scheme.moduleAt(path)
 		if err != nil {
 			return nil, err
 		}
-		return boolmat.Identity(mod.In), nil
+		return qc.identity(mod.In), nil
 	}
-	return vl.chainProduct(path, from, vl.Inputs)
+	return vl.chainProduct(qc, path, from, false)
 }
 
-// outputsProduct returns the product of Outputs over path[from:]: the
+// outputsProduct returns the product of the O matrices over path[from:]: the
 // reversed reachability matrix from the outputs of the module at path[:from]
 // to the outputs of the module at the end of the path.
-func (vl *ViewLabel) outputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) outputsProduct(qc *queryCtx, path []EdgeLabel, from int) (*boolmat.Matrix, error) {
 	if from >= len(path) {
 		mod, err := vl.scheme.moduleAt(path)
 		if err != nil {
 			return nil, err
 		}
-		return boolmat.Identity(mod.Out), nil
+		return qc.identity(mod.Out), nil
 	}
-	return vl.chainProduct(path, from, vl.Outputs)
+	return vl.chainProduct(qc, path, from, true)
 }
 
 // DependsOn is the decoding predicate π of the view-adaptive labeling scheme
@@ -109,8 +121,20 @@ func (vl *ViewLabel) outputsProduct(path []EdgeLabel, from int) (*boolmat.Matrix
 // d1 with respect to the view. It returns an error when either data item is
 // not visible in the view, or when the labels are structurally inconsistent
 // with the scheme's specification.
+//
+// The label is not written during decoding, so DependsOn is safe to call
+// from any number of goroutines concurrently; each call borrows a query
+// context from a shared pool. Workers issuing many queries back to back can
+// pin a context with NewQuerySession instead.
 func (vl *ViewLabel) DependsOn(d1, d2 *DataLabel) (bool, error) {
-	vl.resetQueryState()
+	qc := queryCtxPool.Get().(*queryCtx)
+	defer queryCtxPool.Put(qc)
+	return vl.dependsOn(qc, d1, d2)
+}
+
+// dependsOn answers one query using the given context.
+func (vl *ViewLabel) dependsOn(qc *queryCtx, d1, d2 *DataLabel) (bool, error) {
+	qc.begin()
 	if d1 == nil || d2 == nil {
 		return false, fmt.Errorf("core: nil data label")
 	}
@@ -136,7 +160,7 @@ func (vl *ViewLabel) DependsOn(d1, d2 *DataLabel) (bool, error) {
 	// Case III: initial input to intermediate item — chain the I matrices
 	// along the consuming port's path.
 	if d1.Out == nil {
-		prod, err := vl.inputsProduct(d2.In.Path, 0)
+		prod, err := vl.inputsProduct(qc, d2.In.Path, 0)
 		if err != nil {
 			return false, err
 		}
@@ -146,7 +170,7 @@ func (vl *ViewLabel) DependsOn(d1, d2 *DataLabel) (bool, error) {
 	// Case IV: intermediate item to final output — chain the O matrices along
 	// the producing port's path.
 	if d2.In == nil {
-		prod, err := vl.outputsProduct(d1.Out.Path, 0)
+		prod, err := vl.outputsProduct(qc, d1.Out.Path, 0)
 		if err != nil {
 			return false, err
 		}
@@ -154,7 +178,7 @@ func (vl *ViewLabel) DependsOn(d1, d2 *DataLabel) (bool, error) {
 	}
 
 	// Main cases: both items are intermediate.
-	return vl.decodeMain(d1.Out, d2.In)
+	return vl.decodeMain(qc, d1.Out, d2.In)
 }
 
 func (vl *ViewLabel) safeGet(m *boolmat.Matrix, x, y int) (bool, error) {
@@ -166,7 +190,7 @@ func (vl *ViewLabel) safeGet(m *boolmat.Matrix, x, y int) (bool, error) {
 
 // decodeMain handles cases 1, 2a and 2b of Algorithm 2: o1 is the producing
 // port of d1, i2 is the consuming port of d2, both intermediate.
-func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
+func (vl *ViewLabel) decodeMain(qc *queryCtx, o1, i2 *PortLabel) (bool, error) {
 	l1, l2 := o1.Path, i2.Path
 	x, y := o1.Port, i2.Port
 	shared := commonPrefixLen(l1, l2)
@@ -192,21 +216,21 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if i > j {
 			return false, nil
 		}
-		z, err := vl.edgeZ(el.K, i, j)
+		z, err := vl.edgeZ(qc, el.K, i, j)
 		if err != nil {
 			return false, err
 		}
-		o, err := vl.outputsProduct(l1, shared+1)
+		o, err := vl.outputsProduct(qc, l1, shared+1)
 		if err != nil {
 			return false, err
 		}
-		in, err := vl.inputsProduct(l2, shared+1)
+		in, err := vl.inputsProduct(qc, l2, shared+1)
 		if err != nil {
 			return false, err
 		}
-		ot := o.Transpose()
-		t1 := vl.mulInto(nil, ot, z)
-		res := vl.mulInto(ot, t1, in) // ot's storage is free again; reuse it
+		ot := qc.transpose(o)
+		t1 := vl.mulScratch(qc, ot, z)
+		res := vl.mulScratch(qc, t1, in)
 		return vl.safeGet(res, x, y)
 	}
 
@@ -240,26 +264,26 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if iPrime > jPrime {
 			return false, nil
 		}
-		o, err := vl.outputsProduct(l1, shared+2)
+		o, err := vl.outputsProduct(qc, l1, shared+2)
 		if err != nil {
 			return false, err
 		}
-		z, err := vl.edgeZ(ce.K, iPrime, jPrime)
+		z, err := vl.edgeZ(qc, ce.K, iPrime, jPrime)
 		if err != nil {
 			return false, err
 		}
-		iChain, err := vl.Inputs(RecursiveEdge(el.S, el.T+i, j-i))
+		iChain, err := vl.edgeMatrix(qc, RecursiveEdge(el.S, el.T+i, j-i), false)
 		if err != nil {
 			return false, err
 		}
-		in, err := vl.inputsProduct(l2, shared+1)
+		in, err := vl.inputsProduct(qc, l2, shared+1)
 		if err != nil {
 			return false, err
 		}
-		ot := o.Transpose()
-		t1 := vl.mulInto(nil, ot, z)
-		t2 := vl.mulInto(ot, t1, iChain) // ping-pong through the two temporaries
-		res := vl.mulInto(t1, t2, in)
+		ot := qc.transpose(o)
+		t1 := vl.mulScratch(qc, ot, z)
+		t2 := vl.mulScratch(qc, t1, iChain)
+		res := vl.mulScratch(qc, t2, in)
 		return vl.safeGet(res, x, y)
 
 	case i > j:
@@ -283,26 +307,26 @@ func (vl *ViewLabel) decodeMain(o1, i2 *PortLabel) (bool, error) {
 		if rPrime > jPrime {
 			return false, nil
 		}
-		o, err := vl.outputsProduct(l1, shared+1)
+		o, err := vl.outputsProduct(qc, l1, shared+1)
 		if err != nil {
 			return false, err
 		}
-		oChain, err := vl.Outputs(RecursiveEdge(el.S, el.T+j, i-j))
+		oChain, err := vl.edgeMatrix(qc, RecursiveEdge(el.S, el.T+j, i-j), true)
 		if err != nil {
 			return false, err
 		}
-		z, err := vl.edgeZ(ce.K, rPrime, jPrime)
+		z, err := vl.edgeZ(qc, ce.K, rPrime, jPrime)
 		if err != nil {
 			return false, err
 		}
-		in, err := vl.inputsProduct(l2, shared+2)
+		in, err := vl.inputsProduct(qc, l2, shared+2)
 		if err != nil {
 			return false, err
 		}
-		ot := o.Transpose()
-		t1 := vl.mulInto(nil, ot, oChain.Transpose())
-		t2 := vl.mulInto(ot, t1, z) // ping-pong through the two temporaries
-		res := vl.mulInto(t1, t2, in)
+		ot := qc.transpose(o)
+		t1 := vl.mulScratch(qc, ot, qc.transpose(oChain))
+		t2 := vl.mulScratch(qc, t1, z)
+		res := vl.mulScratch(qc, t2, in)
 		return vl.safeGet(res, x, y)
 
 	default:

@@ -407,3 +407,84 @@ func TestDependsOnRejectsInvisibleItems(t *testing.T) {
 		t.Fatalf("DependsOn must report an error for items hidden by the view")
 	}
 }
+
+func TestDependsOnRejectsMalformedNodeIndices(t *testing.T) {
+	// Data labels are untrusted input: an edge whose production is included
+	// in the view but whose node index is out of range must yield an error,
+	// not an out-of-range panic — on the materialized paths and on the
+	// graph-search (space-efficient) path alike.
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, labeler := labeledRun(t, scheme, 61, 120)
+	var initial, final, mid *core.DataLabel
+	for _, item := range r.Items {
+		d, _ := labeler.Label(item.ID)
+		switch {
+		case d.Out == nil:
+			initial = d
+		case d.In == nil:
+			final = d
+		case len(d.In.Path) > 0 && !d.In.Path[len(d.In.Path)-1].Recursive &&
+			len(d.Out.Path) > 0 && !d.Out.Path[len(d.Out.Path)-1].Recursive:
+			mid = d
+		}
+	}
+	if initial == nil || final == nil || mid == nil {
+		t.Fatal("run lacks an initial input, a final output or a suitable intermediate item")
+	}
+	corrupt := func(p *core.PortLabel) {
+		last := p.Path[len(p.Path)-1]
+		p.Path[len(p.Path)-1] = core.NonRecursiveEdge(last.K, 99)
+	}
+	badIn := mid.Clone()
+	corrupt(badIn.In)
+	badOut := mid.Clone()
+	corrupt(badOut.Out)
+
+	// A recursive edge with a cycle offset of 0 (the run labeler emits only
+	// 1-based offsets) must be rejected by the visibility check rather than
+	// panic the wraparound helpers.
+	var badRec *core.DataLabel
+	for _, item := range r.Items {
+		d, _ := labeler.Label(item.ID)
+		if d.In == nil {
+			continue
+		}
+		for ei, e := range d.In.Path {
+			if e.Recursive {
+				badRec = d.Clone()
+				badRec.In.Path[ei] = core.RecursiveEdge(e.S, 0, e.I)
+				break
+			}
+		}
+		if badRec != nil {
+			break
+		}
+	}
+	if badRec == nil {
+		t.Fatal("no item with a recursive edge in its consuming path")
+	}
+
+	for _, variant := range allVariants {
+		vl, err := scheme.LabelView(view.Default(spec), variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, label := range []*core.ViewLabel{vl, vl.WithMatrixFree()} {
+			// Case III chains the I matrices along the whole corrupted path.
+			if _, err := label.DependsOn(initial, badIn); err == nil {
+				t.Fatalf("variant %v accepted a consuming path with node index 99", variant)
+			}
+			// Case IV chains the O matrices along the whole corrupted path.
+			if _, err := label.DependsOn(badOut, final); err == nil {
+				t.Fatalf("variant %v accepted a producing path with node index 99", variant)
+			}
+			if _, err := label.DependsOn(initial, badRec); err == nil {
+				t.Fatalf("variant %v accepted a recursive edge with offset 0", variant)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/boolmat"
+	"repro/internal/safety"
+)
+
+// queryCtx carries every piece of mutable state one DependsOn query needs:
+// the per-query closure cache of the graph-search path and a bump-allocated
+// pool of scratch matrices for the product chains and transpose temporaries
+// of Algorithm 2. Threading it explicitly through the decode path keeps
+// ViewLabel strictly read-only after construction, so any number of
+// goroutines can query one label (or shallow copies of it, see
+// WithMatrixFree) concurrently, each with its own context.
+//
+// Contexts are reusable: begin resets the bump allocator and drops the
+// closures of the previous query while keeping the matrix storage, so a
+// warmed-up context answers queries without allocating. Dropping the
+// closures — never the matrices, whose contents are always overwritten — is
+// what preserves the query-state-honesty invariant: the closure cache is
+// born empty on every query, so the space-efficient variant pays its full
+// graph-search cost per query exactly as charged in the paper's Figure 20
+// experiment.
+type queryCtx struct {
+	// closures caches on-the-fly port closures within one query so a single
+	// query does not recompute the same production twice. It is only ever
+	// populated on the graph-search path (closureFor), i.e. when the
+	// materialized matrices are absent — in practice VariantSpaceEfficient.
+	closures map[int]*safety.Closure
+
+	// scratch is a bump-allocated arena of matrices: every take returns a
+	// distinct slot, so no two live intermediate results of one query share
+	// storage, and a recycled context reuses the previous query's storage
+	// via the reshaping In kernels of boolmat.
+	scratch []*boolmat.Matrix
+	used    int
+}
+
+// begin readies the context for a new query: the scratch arena rewinds and
+// the closure cache of the previous query is dropped (entries, not storage).
+func (qc *queryCtx) begin() {
+	qc.used = 0
+	clear(qc.closures)
+}
+
+// take returns the index of a fresh scratch slot.
+func (qc *queryCtx) take() int {
+	if qc.used == len(qc.scratch) {
+		qc.scratch = append(qc.scratch, nil)
+	}
+	i := qc.used
+	qc.used++
+	return i
+}
+
+// identity returns an n x n identity matrix backed by a scratch slot.
+func (qc *queryCtx) identity(n int) *boolmat.Matrix {
+	i := qc.take()
+	qc.scratch[i] = boolmat.IdentityInto(qc.scratch[i], n)
+	return qc.scratch[i]
+}
+
+// zero returns an all-false r x c matrix backed by a scratch slot.
+func (qc *queryCtx) zero(r, c int) *boolmat.Matrix {
+	i := qc.take()
+	qc.scratch[i] = boolmat.Zero(qc.scratch[i], r, c)
+	return qc.scratch[i]
+}
+
+// transpose returns the transpose of m backed by a scratch slot.
+func (qc *queryCtx) transpose(m *boolmat.Matrix) *boolmat.Matrix {
+	i := qc.take()
+	qc.scratch[i] = boolmat.TransposeInto(qc.scratch[i], m)
+	return qc.scratch[i]
+}
+
+// queryCtxPool recycles contexts across queries and goroutines. DependsOn
+// draws from it per call; QuerySession pins one context for a worker that
+// issues many queries back to back.
+var queryCtxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+// QuerySession is a reusable per-goroutine query context. A session must not
+// be shared between goroutines; the labels it queries can be. Workers that
+// answer many queries in a row (see internal/engine) hold one session each
+// so the scratch storage of a query is recycled by the next without a trip
+// through the pool.
+type QuerySession struct {
+	qc *queryCtx
+}
+
+// NewQuerySession draws a context from the shared pool.
+func NewQuerySession() *QuerySession {
+	return &QuerySession{qc: queryCtxPool.Get().(*queryCtx)}
+}
+
+// DependsOn answers one reachability query against vl using the session's
+// context. It is equivalent to vl.DependsOn(d1, d2).
+func (s *QuerySession) DependsOn(vl *ViewLabel, d1, d2 *DataLabel) (bool, error) {
+	return vl.dependsOn(s.qc, d1, d2)
+}
+
+// Close returns the session's context to the pool. The session must not be
+// used afterwards.
+func (s *QuerySession) Close() {
+	if s.qc != nil {
+		queryCtxPool.Put(s.qc)
+		s.qc = nil
+	}
+}

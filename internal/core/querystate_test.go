@@ -4,7 +4,8 @@ package core
 // on the graph-search path (VariantSpaceEfficient) are scoped to one query.
 // Reusing them across queries would make the space-efficient variant cheat in
 // the Figure 20 experiment, which charges it the full graph-search cost per
-// query.
+// query. Since the query-context refactor the cache lives in queryCtx, not in
+// the view label, and queryCtx.begin drops it at the start of every query.
 
 import (
 	"math/rand"
@@ -17,7 +18,7 @@ import (
 
 // spaceEfficientQuery returns a space-efficient view label together with a
 // label pair whose query is answered via closureFor (i.e. it populates the
-// closure cache).
+// context's closure cache).
 func spaceEfficientQuery(t *testing.T) (*ViewLabel, *DataLabel, *DataLabel) {
 	t.Helper()
 	spec := workloads.PaperExample()
@@ -37,14 +38,15 @@ func spaceEfficientQuery(t *testing.T) (*ViewLabel, *DataLabel, *DataLabel) {
 	if err != nil {
 		t.Fatalf("labeling view: %v", err)
 	}
+	qc := new(queryCtx)
 	for _, d1 := range r.Items {
 		for _, d2 := range r.Items {
 			l1, _ := labeler.Label(d1.ID)
 			l2, _ := labeler.Label(d2.ID)
-			if _, err := vl.DependsOn(l1, l2); err != nil {
+			if _, err := vl.dependsOn(qc, l1, l2); err != nil {
 				t.Fatalf("DependsOn: %v", err)
 			}
-			if len(vl.closureCache) > 0 {
+			if len(qc.closures) > 0 {
 				return vl, l1, l2
 			}
 		}
@@ -56,33 +58,80 @@ func spaceEfficientQuery(t *testing.T) (*ViewLabel, *DataLabel, *DataLabel) {
 func TestSpaceEfficientQueriesDoNotReuseClosures(t *testing.T) {
 	vl, l1, l2 := spaceEfficientQuery(t)
 
-	// Snapshot the closures the first query computed, then ask again: the
-	// second query must recompute every closure from scratch.
-	first := make(map[int]*safety.Closure, len(vl.closureCache))
-	for k, cl := range vl.closureCache {
+	// Run the query once, snapshot the closures it computed, then ask again
+	// with the same (warm) context: the second query must recompute every
+	// closure from scratch, because begin drops the cache entries.
+	qc := new(queryCtx)
+	if _, err := vl.dependsOn(qc, l1, l2); err != nil {
+		t.Fatalf("first DependsOn: %v", err)
+	}
+	if len(qc.closures) == 0 {
+		t.Fatalf("first query did not populate the closure cache")
+	}
+	first := make(map[int]*safety.Closure, len(qc.closures))
+	for k, cl := range qc.closures {
 		first[k] = cl
 	}
-	if _, err := vl.DependsOn(l1, l2); err != nil {
+	if _, err := vl.dependsOn(qc, l1, l2); err != nil {
 		t.Fatalf("second DependsOn: %v", err)
 	}
-	if len(vl.closureCache) == 0 {
+	if len(qc.closures) == 0 {
 		t.Fatalf("second query did not populate the closure cache")
 	}
-	for k, cl := range vl.closureCache {
+	for k, cl := range qc.closures {
 		if prev, ok := first[k]; ok && prev == cl {
 			t.Fatalf("closure for production %d survived from the previous query", k)
 		}
 	}
 }
 
-func TestResetQueryStateDropsCacheForAllVariants(t *testing.T) {
-	// The invariant is enforced unconditionally: even if a label of another
-	// variant ever ends up with a populated cache, a new query must drop it.
-	for _, variant := range []Variant{VariantSpaceEfficient, VariantDefault, VariantQueryEfficient} {
-		vl := &ViewLabel{variant: variant, closureCache: map[int]*safety.Closure{1: nil}}
-		vl.resetQueryState()
-		if vl.closureCache != nil {
-			t.Fatalf("resetQueryState kept the closure cache for variant %v", variant)
+func TestQueryContextBeginDropsClosuresAndRewindsScratch(t *testing.T) {
+	qc := &queryCtx{closures: map[int]*safety.Closure{1: nil, 2: nil}}
+	qc.take()
+	qc.take()
+	qc.begin()
+	if len(qc.closures) != 0 {
+		t.Fatalf("begin kept %d closure cache entries", len(qc.closures))
+	}
+	if qc.used != 0 {
+		t.Fatalf("begin left the scratch arena at %d used slots", qc.used)
+	}
+}
+
+func TestMaterializedVariantQueriesNeverTouchClosures(t *testing.T) {
+	// The materialized variants answer every query from the label's matrices;
+	// their hot path must be write-free, which shows up here as a closure
+	// cache that stays empty no matter how many queries run.
+	spec := workloads.PaperExample()
+	scheme, err := NewScheme(spec)
+	if err != nil {
+		t.Fatalf("building scheme: %v", err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 120, Rand: rand.New(rand.NewSource(21))})
+	if err != nil {
+		t.Fatalf("deriving run: %v", err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatalf("labeling run: %v", err)
+	}
+	for _, variant := range []Variant{VariantDefault, VariantQueryEfficient} {
+		vl, err := scheme.LabelView(view.Default(spec), variant)
+		if err != nil {
+			t.Fatalf("labeling view (%v): %v", variant, err)
+		}
+		qc := new(queryCtx)
+		for _, d1 := range r.Items {
+			for _, d2 := range r.Items {
+				l1, _ := labeler.Label(d1.ID)
+				l2, _ := labeler.Label(d2.ID)
+				if _, err := vl.dependsOn(qc, l1, l2); err != nil {
+					t.Fatalf("DependsOn (%v): %v", variant, err)
+				}
+				if len(qc.closures) != 0 {
+					t.Fatalf("variant %v wrote %d closures into the query context", variant, len(qc.closures))
+				}
+			}
 		}
 	}
 }

@@ -56,7 +56,10 @@ type recChain struct {
 }
 
 // product returns the product of the first n >= 0 matrices of the chain.
-func (rc *recChain) product(n int) *boolmat.Matrix {
+// The result is either a matrix cached in the chain or a scratch slot of
+// the query context (for the one combination — full turns plus a non-zero
+// remainder — that needs an actual multiplication).
+func (rc *recChain) product(qc *queryCtx, n int) *boolmat.Matrix {
 	l := len(rc.prefixes) - 1 // cycle length
 	if n < l {
 		return rc.prefixes[n]
@@ -66,7 +69,9 @@ func (rc *recChain) product(n int) *boolmat.Matrix {
 	if r == 0 {
 		return x
 	}
-	return x.Mul(rc.prefixes[r])
+	i := qc.take()
+	qc.scratch[i] = boolmat.MulInto(qc.scratch[i], x, rc.prefixes[r])
+	return qc.scratch[i]
 }
 
 // ViewLabel is φv(U): the static label of one safe view, consisting of the
@@ -74,6 +79,11 @@ func (rc *recChain) product(n int) *boolmat.Matrix {
 // functions I, O and Z of Section 4.3 (materialized or not, depending on the
 // variant). A view label is combined with two data labels by DependsOn to
 // answer reachability queries over the view.
+//
+// A view label is strictly read-only after construction: all per-query
+// mutable state (the closure cache of the graph-search path and the scratch
+// matrices of the decoder) lives in a queryCtx threaded through the decode
+// path, so one label can serve any number of concurrent queries.
 type ViewLabel struct {
 	scheme  *Scheme
 	view    *view.View
@@ -95,16 +105,6 @@ type ViewLabel struct {
 	inRec  map[[2]int]*recChain
 	outRec map[[2]int]*recChain
 
-	// closureCache caches on-the-fly closures so a single query does not
-	// recompute the same production twice. Invariant: it is only ever
-	// populated on the graph-search path (closureFor), i.e. when the
-	// materialized matrices are absent — in practice VariantSpaceEfficient —
-	// and it never survives from one query to the next: resetQueryState
-	// drops it unconditionally at the start of every query, keeping the
-	// space-efficient variant honest about paying its graph-search cost per
-	// query, as in the paper's experiments.
-	closureCache map[int]*safety.Closure
-
 	// matrixFree enables the short-circuited decoding of Section 6.4
 	// (Matrix-Free FVL), which avoids multiplying complete or empty matrices.
 	matrixFree bool
@@ -114,6 +114,11 @@ type ViewLabel struct {
 // short-circuits products involving complete or empty reachability matrices
 // (the Matrix-Free FVL of Section 6.4). The optimization is always correct;
 // it pays off on coarse-grained views, where most matrices are complete.
+//
+// The copy is shallow: it shares the materialized matrices and recursion
+// caches with the original, which is safe because a view label carries no
+// mutable query state — the copy and the original can answer queries
+// concurrently.
 func (vl *ViewLabel) WithMatrixFree() *ViewLabel {
 	c := *vl
 	c.matrixFree = true
@@ -231,16 +236,17 @@ func (vl *ViewLabel) buildChain(c prodgraph.Cycle, t int, outputs bool) (*recCha
 		return nil, err
 	}
 	dim := mod.In
-	get := vl.edgeI
 	if outputs {
 		dim = mod.Out
-		get = vl.edgeO
 	}
+	// Construction runs with its own throwaway context; the query-efficient
+	// variant has its matrices materialized, so the context stays empty.
+	qc := new(queryCtx)
 	prefixes := make([]*boolmat.Matrix, l+1)
 	prefixes[0] = boolmat.Identity(dim)
 	for r := 1; r <= l; r++ {
 		e := c.EdgeAt(t + r - 1)
-		m, err := get(e.K, e.I)
+		m, err := vl.edgeIO(qc, e.K, e.I, outputs)
 		if err != nil {
 			return nil, err
 		}
@@ -259,12 +265,28 @@ func (vl *ViewLabel) Variant() Variant { return vl.variant }
 // under the view.
 func (vl *ViewLabel) StartDeps() *boolmat.Matrix { return vl.start.Clone() }
 
+// checkNode validates a 1-based node index of production k against the
+// production's right-hand side. Data labels are untrusted input to the
+// decoder, so indices must be checked before they reach a closure or the
+// grammar's node list (a map lookup in the materialized matrices catches
+// them for free, but the graph-search path would index out of range).
+// checkNode must only be called with an included (hence valid) k.
+func (vl *ViewLabel) checkNode(k, i int) error {
+	if n := len(vl.scheme.Spec.Grammar.Productions[k-1].RHS.Nodes); i < 1 || i > n {
+		return fmt.Errorf("core: node index %d out of range for production %d (%d nodes) in view %q", i, k, n, vl.view.Name)
+	}
+	return nil
+}
+
 // edgeI returns I(k, i): the reachability matrix from the inputs of the
 // left-hand side of production k to the inputs of its i-th right-hand-side
 // node, under the view's full dependency assignment.
-func (vl *ViewLabel) edgeI(k, i int) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) edgeI(qc *queryCtx, k, i int) (*boolmat.Matrix, error) {
 	if !vl.included[k] {
 		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	if err := vl.checkNode(k, i); err != nil {
+		return nil, err
 	}
 	if vl.iMat != nil {
 		if m, ok := vl.iMat[[2]int{k, i}]; ok {
@@ -272,7 +294,7 @@ func (vl *ViewLabel) edgeI(k, i int) (*boolmat.Matrix, error) {
 		}
 		return nil, fmt.Errorf("core: I(%d,%d) is undefined in view %q", k, i, vl.view.Name)
 	}
-	cl, err := vl.closureFor(k)
+	cl, err := vl.closureFor(qc, k)
 	if err != nil {
 		return nil, err
 	}
@@ -281,9 +303,12 @@ func (vl *ViewLabel) edgeI(k, i int) (*boolmat.Matrix, error) {
 
 // edgeO returns O(k, i): the reversed reachability matrix from the outputs of
 // the left-hand side of production k to the outputs of its i-th node.
-func (vl *ViewLabel) edgeO(k, i int) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) edgeO(qc *queryCtx, k, i int) (*boolmat.Matrix, error) {
 	if !vl.included[k] {
 		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	if err := vl.checkNode(k, i); err != nil {
+		return nil, err
 	}
 	if vl.oMat != nil {
 		if m, ok := vl.oMat[[2]int{k, i}]; ok {
@@ -291,25 +316,39 @@ func (vl *ViewLabel) edgeO(k, i int) (*boolmat.Matrix, error) {
 		}
 		return nil, fmt.Errorf("core: O(%d,%d) is undefined in view %q", k, i, vl.view.Name)
 	}
-	cl, err := vl.closureFor(k)
+	cl, err := vl.closureFor(qc, k)
 	if err != nil {
 		return nil, err
 	}
 	return cl.OutputsTo(i - 1), nil
 }
 
+// edgeIO dispatches to edgeO or edgeI.
+func (vl *ViewLabel) edgeIO(qc *queryCtx, k, i int, outputs bool) (*boolmat.Matrix, error) {
+	if outputs {
+		return vl.edgeO(qc, k, i)
+	}
+	return vl.edgeI(qc, k, i)
+}
+
 // edgeZ returns Z(k, i, j): the reachability matrix from the outputs of the
 // i-th node of production k to the inputs of its j-th node. For i >= j the
 // matrix is empty.
-func (vl *ViewLabel) edgeZ(k, i, j int) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) edgeZ(qc *queryCtx, k, i, j int) (*boolmat.Matrix, error) {
 	if !vl.included[k] {
 		return nil, fmt.Errorf("core: production %d is not part of view %q", k, vl.view.Name)
+	}
+	if err := vl.checkNode(k, i); err != nil {
+		return nil, err
+	}
+	if err := vl.checkNode(k, j); err != nil {
+		return nil, err
 	}
 	p := vl.scheme.Spec.Grammar.Productions[k-1]
 	mi := vl.scheme.Spec.Grammar.Modules[p.RHS.Nodes[i-1]]
 	mj := vl.scheme.Spec.Grammar.Modules[p.RHS.Nodes[j-1]]
 	if i >= j {
-		return boolmat.New(mi.Out, mj.In), nil
+		return qc.zero(mi.Out, mj.In), nil
 	}
 	if vl.zMat != nil {
 		if m, ok := vl.zMat[[3]int{k, i, j}]; ok {
@@ -317,18 +356,20 @@ func (vl *ViewLabel) edgeZ(k, i, j int) (*boolmat.Matrix, error) {
 		}
 		return nil, fmt.Errorf("core: Z(%d,%d,%d) is undefined in view %q", k, i, j, vl.view.Name)
 	}
-	cl, err := vl.closureFor(k)
+	cl, err := vl.closureFor(qc, k)
 	if err != nil {
 		return nil, err
 	}
 	return cl.Between(i-1, j-1), nil
 }
 
-// closureFor computes (and caches for the duration of one query) the port
-// closure of a production's right-hand side under λ*′. This is the
-// graph-search path of VariantSpaceEfficient.
-func (vl *ViewLabel) closureFor(k int) (*safety.Closure, error) {
-	if cl, ok := vl.closureCache[k]; ok {
+// closureFor computes (and caches in the query context, i.e. for the
+// duration of one query) the port closure of a production's right-hand side
+// under λ*′. This is the graph-search path of VariantSpaceEfficient; the
+// materialized variants never reach it, so their queries write nothing at
+// all.
+func (vl *ViewLabel) closureFor(qc *queryCtx, k int) (*safety.Closure, error) {
+	if cl, ok := qc.closures[k]; ok {
 		return cl, nil
 	}
 	p := vl.scheme.Spec.Grammar.Productions[k-1]
@@ -336,47 +377,33 @@ func (vl *ViewLabel) closureFor(k int) (*safety.Closure, error) {
 	if err != nil {
 		return nil, err
 	}
-	if vl.closureCache == nil {
-		vl.closureCache = map[int]*safety.Closure{}
+	if qc.closures == nil {
+		qc.closures = map[int]*safety.Closure{}
 	}
-	vl.closureCache[k] = cl
+	qc.closures[k] = cl
 	return cl, nil
 }
 
-// resetQueryState drops per-query caches so the space-efficient variant pays
-// its graph-search cost on every query, as in the paper's experiments. The
-// cache is dropped regardless of variant: closureFor fills it lazily whenever
-// the materialized matrices are absent, so clearing only one variant would
-// silently let closures of any other lazily-computed configuration leak
-// across queries.
-func (vl *ViewLabel) resetQueryState() {
-	vl.closureCache = nil
-}
-
-// Inputs implements procedure Inputs of Algorithm 1: given an edge label of
-// the compressed parse tree, it returns the reachability matrix from the
-// inputs of the edge's parent module (for recursive edges, the first unfolded
-// module of the recursion) to the inputs of the edge's child module.
-func (vl *ViewLabel) Inputs(e EdgeLabel) (*boolmat.Matrix, error) {
+// edgeMatrix implements procedures Inputs and Outputs of Algorithm 1: given
+// an edge label of the compressed parse tree, it returns the reachability
+// matrix from the inputs (outputs=false) or the reversed reachability matrix
+// from the outputs (outputs=true) of the edge's parent module (for recursive
+// edges, the first unfolded module of the recursion) to the same-kind ports
+// of the edge's child module.
+func (vl *ViewLabel) edgeMatrix(qc *queryCtx, e EdgeLabel, outputs bool) (*boolmat.Matrix, error) {
 	if !e.Recursive {
-		return vl.edgeI(e.K, e.I)
+		return vl.edgeIO(qc, e.K, e.I, outputs)
 	}
-	return vl.recursionChain(e, vl.edgeI, vl.inRec, false)
-}
-
-// Outputs is the output-port counterpart of Inputs: it returns the reversed
-// reachability matrix from the outputs of the edge's parent module to the
-// outputs of the edge's child module.
-func (vl *ViewLabel) Outputs(e EdgeLabel) (*boolmat.Matrix, error) {
-	if !e.Recursive {
-		return vl.edgeO(e.K, e.I)
+	cache := vl.inRec
+	if outputs {
+		cache = vl.outRec
 	}
-	return vl.recursionChain(e, vl.edgeO, vl.outRec, true)
+	return vl.recursionChain(qc, e, cache, outputs)
 }
 
 // recursionChain resolves a recursive edge label (s, t, i): the product of
 // the i-1 cycle matrices starting at offset t of cycle s.
-func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Matrix, error), cache map[[2]int]*recChain, outputs bool) (*boolmat.Matrix, error) {
+func (vl *ViewLabel) recursionChain(qc *queryCtx, e EdgeLabel, cache map[[2]int]*recChain, outputs bool) (*boolmat.Matrix, error) {
 	c, err := vl.scheme.Cycle(e.S)
 	if err != nil {
 		return nil, err
@@ -387,9 +414,15 @@ func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Ma
 	}
 
 	// Constant-time path: the cached prefix products and periodic powers.
+	// Offsets wrap around the cycle (EdgeAt's convention), but the caches
+	// are keyed by offsets in [1, Len] only — normalize before looking up,
+	// or the internally synthesized edges of decodeMain's recursive cases
+	// (offset el.T+i, possibly past one full turn) would silently fall to
+	// the slow product/power path below.
 	if cache != nil {
-		if rc, ok := cache[[2]int{e.S, e.T}]; ok {
-			return rc.product(n), nil
+		t := (e.T-1)%c.Len() + 1
+		if rc, ok := cache[[2]int{e.S, t}]; ok {
+			return rc.product(qc, n), nil
 		}
 	}
 
@@ -402,7 +435,7 @@ func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Ma
 		dim = mod.Out
 	}
 	if n == 0 {
-		return boolmat.Identity(dim), nil
+		return qc.identity(dim), nil
 	}
 
 	l := c.Len()
@@ -410,7 +443,7 @@ func (vl *ViewLabel) recursionChain(e EdgeLabel, get func(k, i int) (*boolmat.Ma
 	block := make([]*boolmat.Matrix, 0, l)
 	for a := 0; a < l && a < n; a++ {
 		edge := c.EdgeAt(e.T + a)
-		m, err := get(edge.K, edge.I)
+		m, err := vl.edgeIO(qc, edge.K, edge.I, outputs)
 		if err != nil {
 			return nil, err
 		}
@@ -459,6 +492,15 @@ func (vl *ViewLabel) pathVisible(path []EdgeLabel) bool {
 		}
 		c, err := vl.scheme.Cycle(e.S)
 		if err != nil {
+			return false
+		}
+		// Data labels are untrusted input: a recursive edge with an offset
+		// outside the cycle or a child position < 1 is malformed (the run
+		// labeler never emits one) and would panic the wraparound helpers
+		// downstream. Visible is the choke point every query passes through
+		// for both labels, so rejecting here keeps the whole decode path
+		// panic-free.
+		if e.T < 1 || e.T > c.Len() || e.I < 1 {
 			return false
 		}
 		// Children 2..I of the recursive node were created by the cycle

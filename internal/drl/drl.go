@@ -24,6 +24,9 @@ package drl
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/run"
@@ -202,6 +205,63 @@ func LabelRun(v *view.View, r *run.Run) (*Labeler, error) {
 		}
 	}
 	return l, nil
+}
+
+// LabelRunViews labels one run for many views concurrently, one worker-pool
+// task per view; workers <= 0 means GOMAXPROCS. This is DRL's multi-view hot
+// path (Figures 21-22) parallelized: each view's labeler mirrors the shared
+// run — which is only read — onto its own projected run, so the per-view
+// labelings are independent. The returned slice is index-aligned with views.
+// Any failure aborts the whole batch: one of the errors is returned (the
+// lowest-indexed one recorded) and in-flight work stops claiming new views.
+func LabelRunViews(views []*view.View, r *run.Run, workers int) ([]*Labeler, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(views) {
+		workers = len(views)
+	}
+	labelers := make([]*Labeler, len(views))
+	errs := make([]error, len(views))
+	if workers <= 1 {
+		for i, v := range views {
+			l, err := LabelRun(v, r)
+			if err != nil {
+				return nil, err
+			}
+			labelers[i] = l
+		}
+		return labelers, nil
+	}
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(views) || failed.Load() {
+					return
+				}
+				labelers[i], errs[i] = LabelRun(views[i], r)
+				if errs[i] != nil {
+					// A full relabeling per view is milliseconds of work;
+					// don't burn it on views whose results the error of this
+					// one is about to discard.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return labelers, nil
 }
 
 // Visible reports whether the original data item received a label, i.e. is

@@ -203,3 +203,65 @@ func TestDRLRejectsForeignRun(t *testing.T) {
 		t.Fatalf("DRL must reject runs of a different specification")
 	}
 }
+
+func TestLabelRunViewsMatchesSerial(t *testing.T) {
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 200, 5)
+
+	rng := rand.New(rand.NewSource(6))
+	var views []*view.View
+	for i := 0; i < 6; i++ {
+		v, err := workloads.RandomView(spec, workloads.ViewOptions{
+			Name:       fmt.Sprintf("par-%d", i),
+			Composites: 2 + i%4,
+			Mode:       workloads.BlackBox,
+			Rand:       rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+
+	parallel, err := drl.LabelRunViews(views, r, 4)
+	if err != nil {
+		t.Fatalf("parallel labeling: %v", err)
+	}
+	if len(parallel) != len(views) {
+		t.Fatalf("got %d labelers for %d views", len(parallel), len(views))
+	}
+	for i, v := range views {
+		serial, err := drl.LabelRun(v, r)
+		if err != nil {
+			t.Fatalf("serial labeling of %q: %v", v.Name, err)
+		}
+		got := parallel[i]
+		if got.View != v {
+			t.Fatalf("labeler %d is for view %q, want %q", i, got.View.Name, v.Name)
+		}
+		if got.Count() != serial.Count() {
+			t.Fatalf("view %q: parallel labeled %d items, serial %d", v.Name, got.Count(), serial.Count())
+		}
+		for _, item := range r.Items {
+			sl, sok := serial.Label(item.ID)
+			pl, pok := got.Label(item.ID)
+			if sok != pok {
+				t.Fatalf("view %q item %d: visibility disagrees (serial %v, parallel %v)", v.Name, item.ID, sok, pok)
+			}
+			if sok && serial.SizeBits(sl) != got.SizeBits(pl) {
+				t.Fatalf("view %q item %d: label sizes disagree", v.Name, item.ID)
+			}
+		}
+	}
+}
+
+func TestLabelRunViewsPropagatesErrors(t *testing.T) {
+	spec := workloads.PaperExample()
+	r := mustRun(t, spec, 100, 7)
+	other := workloads.BioAID()
+	foreign := view.Default(other) // view over a different specification
+	good := view.Default(spec)
+	if _, err := drl.LabelRunViews([]*view.View{good, foreign, good}, r, 3); err == nil {
+		t.Fatalf("expected the foreign view to fail the batch")
+	}
+}

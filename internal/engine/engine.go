@@ -1,0 +1,154 @@
+// Package engine serves reachability queries concurrently. The query-context
+// refactor of package core made view labels strictly read-only after
+// construction, so one label — a few KB of matrices — can answer queries from
+// any number of goroutines at once; this package adds the serving layer on
+// top: a worker pool that drains batches of queries against a shared label,
+// with one pinned query context per worker so the per-query allocation count
+// stays flat no matter how large the batch is.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Query is one reachability question: does the item labeled D2 depend on the
+// item labeled D1?
+type Query struct {
+	D1, D2 *core.DataLabel
+}
+
+// Result is the answer to one query. Err is non-nil when the query's labels
+// are invalid for the view (e.g. an item the view hides); the other queries
+// of the batch are unaffected.
+type Result struct {
+	DependsOn bool
+	Err       error
+}
+
+// maxGrain caps the number of consecutive queries a worker claims per fetch
+// of the shared cursor. Claiming blocks instead of single queries keeps the
+// atomic counter off the hot path: at sub-microsecond query latencies,
+// per-query contention on the cursor would dominate the work itself. Small
+// batches use a finer grain (see batchGrain) so they still fan out.
+const maxGrain = 64
+
+// batchGrain picks the claim-block size for a batch: coarse for large
+// batches, but never so coarse that the batch occupies fewer claim blocks
+// than there are workers.
+func batchGrain(queries, workers int) int {
+	g := queries / workers
+	if g < 1 {
+		g = 1
+	}
+	if g > maxGrain {
+		g = maxGrain
+	}
+	return g
+}
+
+// Engine is a concurrent batch query engine over view labels. The zero
+// value serves batches with GOMAXPROCS workers, like New(0). An Engine is
+// stateless between calls and safe for concurrent use.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given worker-pool size; workers <= 0 means
+// GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// WorkerSweep returns the conventional scaling sweep 1, 2, 4, ..., max
+// (with max always included), shared by the engine benchmarks and the
+// bench harness's concurrent-serving experiment.
+func WorkerSweep(max int) []int {
+	sweep := []int{1}
+	for w := 2; w < max; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if max > 1 {
+		sweep = append(sweep, max)
+	}
+	return sweep
+}
+
+// DependsOnBatch answers all queries against one shared view label, fanning
+// them out over the worker pool. results[i] corresponds to queries[i]. Each
+// worker holds one pooled query context for its whole share of the batch, so
+// the space-efficient variant still pays its full graph-search cost per
+// query (contexts are born empty every query) while the matrix scratch
+// storage is reused across the worker's queries.
+func (e *Engine) DependsOnBatch(vl *core.ViewLabel, queries []Query) []Result {
+	results := make([]Result, len(queries))
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		serveBatch(vl, queries, results, new(atomic.Int64), len(queries))
+		return results
+	}
+	grain := batchGrain(len(queries), workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			serveBatch(vl, queries, results, &cursor, grain)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// serveBatch drains grain-sized blocks of the batch until the cursor passes
+// the end.
+func serveBatch(vl *core.ViewLabel, queries []Query, results []Result, cursor *atomic.Int64, grain int) {
+	if grain < 1 {
+		return
+	}
+	s := core.NewQuerySession()
+	defer s.Close()
+	for {
+		lo := int(cursor.Add(int64(grain))) - grain
+		if lo >= len(queries) {
+			return
+		}
+		hi := lo + grain
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		for i := lo; i < hi; i++ {
+			results[i] = serveOne(s, vl, queries[i])
+		}
+	}
+}
+
+// serveOne answers a single query, converting a panic — e.g. from a
+// malformed label the decoder did not anticipate — into that query's error,
+// so one bad query cannot take down the whole batch.
+func serveOne(s *core.QuerySession, vl *core.ViewLabel, q Query) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: query panicked: %v", r)}
+		}
+	}()
+	ok, err := s.DependsOn(vl, q.D1, q.D2)
+	return Result{DependsOn: ok, Err: err}
+}
