@@ -9,11 +9,14 @@
 //	fvlbench -quick               # reduced scale (seconds instead of minutes)
 //	fvlbench -experiments fig17,fig21
 //	fvlbench -experiments engine -parallel 8
+//	fvlbench -experiments snapshot -load labels.fvl
 //	fvlbench -o results.txt       # also write the report to a file
 //
 // The engine experiment measures the concurrent serving layer (batch query
 // throughput and parallel multi-view labeling); -parallel caps its worker
-// sweep, defaulting to GOMAXPROCS.
+// sweep, defaulting to GOMAXPROCS. The snapshot experiment loads a label
+// snapshot written by wflabel -snapshot and differentially verifies it
+// against freshly built labels; without -load it is skipped.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	samples := flag.Int("samples", 0, "override the number of sample runs per data point")
 	queries := flag.Int("queries", 0, "override the number of sample queries per measurement")
 	parallel := flag.Int("parallel", 0, "largest worker count of the engine experiment's sweep (0 = GOMAXPROCS)")
+	load := flag.String("load", "", "label snapshot (from wflabel -snapshot) for the snapshot experiment")
 	output := flag.String("o", "", "also write the report to this file")
 	list := flag.Bool("list", false, "list the available experiments and exit")
 	flag.Parse()
@@ -60,6 +64,7 @@ func main() {
 	if *parallel > 0 {
 		cfg.Workers = *parallel
 	}
+	cfg.SnapshotPath = *load
 
 	var experiments []bench.Experiment
 	if *names == "all" {

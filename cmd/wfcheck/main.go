@@ -9,6 +9,7 @@
 //	wfcheck -workload paper
 //	wfcheck -workload bioaid -verbose
 //	wfcheck -workload synthetic -depth 6 -degree 4 -size 40 -recursion 2
+//	wfcheck -load labels.fvl
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/labelstore"
 	"repro/internal/prodgraph"
 	"repro/internal/safety"
 	"repro/internal/workflow"
@@ -27,6 +29,7 @@ import (
 func main() {
 	workload := flag.String("workload", "paper", "workflow to analyze: paper, bioaid, figure10, synthetic")
 	specFile := flag.String("spec", "", "analyze a specification from a JSON file instead of a bundled workload")
+	load := flag.String("load", "", "validate a label snapshot (written by wflabel -snapshot) and analyze its specification")
 	export := flag.String("export", "", "write the analyzed specification to this JSON file")
 	verbose := flag.Bool("verbose", false, "print the full dependency assignment and every production-graph edge")
 	depth := flag.Int("depth", 4, "synthetic: nesting depth")
@@ -52,6 +55,27 @@ func main() {
 			log.Fatalf("reading %s: %v", *specFile, err)
 		}
 		*workload = *specFile
+	}
+	if *load != "" {
+		snap, err := labelstore.LoadFile(*load)
+		if err != nil {
+			log.Fatalf("loading snapshot %s: %v", *load, err)
+		}
+		spec = snap.Scheme.Spec
+		*workload = *load
+		kind := "compact"
+		if snap.Scheme.IsBasic() {
+			kind = "basic (Theorem 1 fallback)"
+		}
+		fmt.Printf("snapshot:             %s (validated: checksum, dimensions and index ranges)\n", *load)
+		fmt.Printf("scheme kind:          %s\n", kind)
+		fmt.Printf("view labels:          %d\n", len(snap.Labels))
+		for _, vl := range snap.Labels {
+			v := vl.View()
+			fmt.Printf("  %-16s %-16s %7d bytes, expandable %v\n",
+				v.Name, vl.Variant().String(), (vl.SizeBits()+7)/8, v.ExpandableModules())
+		}
+		fmt.Println()
 	}
 	if *export != "" {
 		f, err := os.Create(*export)

@@ -8,6 +8,7 @@
 //	wflabel -workload paper -size 100 -view security -query 7,10
 //	wflabel -workload bioaid -size 2000 -view black-box:8 -labels
 //	wflabel -workload paper -stats
+//	wflabel -workload bioaid -view grey-box:8 -snapshot labels.fvl
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/labelstore"
 	"repro/internal/run"
 	"repro/internal/view"
 	"repro/internal/workflow"
@@ -36,6 +38,7 @@ func main() {
 	query := flag.String("query", "", "comma-separated pair of data item IDs d1,d2: ask whether d2 depends on d1")
 	showLabels := flag.Bool("labels", false, "print every data label")
 	stats := flag.Bool("stats", false, "print label length statistics")
+	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or engine.NewServerFromSnapshot)")
 	flag.Parse()
 
 	spec, err := selectWorkload(*workload)
@@ -83,6 +86,13 @@ func main() {
 	}
 	fmt.Printf("view %q: expandable composites %v, label %d bytes (%s variant)\n",
 		v.Name, v.ExpandableModules(), (vl.SizeBits()+7)/8, variant)
+
+	if *snapshot != "" {
+		if err := labelstore.SaveFile(*snapshot, scheme, []*core.ViewLabel{vl}); err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		fmt.Printf("wrote label snapshot for view %q (%s variant) to %s\n", v.Name, variant, *snapshot)
+	}
 
 	if *showLabels {
 		fmt.Println("\ndata labels:")

@@ -41,6 +41,9 @@ type Config struct {
 	// Workers caps the worker sweep of the concurrent-serving experiment
 	// (the engine table); 0 means GOMAXPROCS.
 	Workers int
+	// SnapshotPath points the snapshot experiment at a label snapshot
+	// written by wflabel -snapshot; empty skips the experiment.
+	SnapshotPath string
 }
 
 // DefaultConfig reproduces the paper's experimental scale.
@@ -141,6 +144,7 @@ func All() []Experiment {
 		{"fig25", "Query time vs module degree (synthetic)", Fig25},
 		{"table1", "Impact of synthetic parameters on labeling performance", Table1},
 		{"engine", "Batch query throughput and parallel multi-view labeling vs worker count", EngineThroughput},
+		{"snapshot", "Loaded label snapshot vs freshly built labels, differential (needs -load)", SnapshotServing},
 	}
 }
 

@@ -1,9 +1,15 @@
 package bench
 
 import (
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/labelstore"
+	"repro/internal/view"
+	"repro/internal/workloads"
 )
 
 // TestAllExperimentsRunOnQuickConfig executes every experiment of Section 6
@@ -99,6 +105,55 @@ func mustFloat(t *testing.T, s string) float64 {
 	return v
 }
 
+// TestSnapshotServingOnRealSnapshot writes a snapshot the way wflabel
+// -snapshot does and runs the differential snapshot experiment against it.
+func TestSnapshotServingOnRealSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness test skipped in -short mode")
+	}
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []*core.ViewLabel
+	for _, v := range []*view.View{view.Default(spec), sec} {
+		vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, vl)
+	}
+	path := filepath.Join(t.TempDir(), "labels.fvl")
+	if err := labelstore.SaveFile(path, scheme, labels); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := QuickConfig()
+	cfg.SnapshotPath = path
+	table, err := SnapshotServing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(labels) {
+		t.Fatalf("expected one row per label, got %d", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "identical" {
+			t.Fatalf("row %v did not verify as identical", row)
+		}
+	}
+
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "missing.fvl")
+	if _, err := SnapshotServing(cfg); err == nil {
+		t.Fatal("a missing snapshot file must fail the experiment")
+	}
+}
+
 func TestLookup(t *testing.T) {
 	if _, ok := Lookup("fig17"); !ok {
 		t.Fatalf("fig17 must be registered")
@@ -106,7 +161,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatalf("unknown experiment must not resolve")
 	}
-	if len(All()) != 11 {
-		t.Fatalf("expected 11 experiments (9 figures + table 1 + engine), got %d", len(All()))
+	if len(All()) != 12 {
+		t.Fatalf("expected 12 experiments (9 figures + table 1 + engine + snapshot), got %d", len(All()))
 	}
 }

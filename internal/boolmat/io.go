@@ -1,0 +1,78 @@
+package boolmat
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary matrix wire format, used by the label snapshot store:
+//
+//	uvarint rows
+//	uvarint cols
+//	rows*stride little-endian uint64 words (stride = ceil(cols/64))
+//
+// The words are written exactly as stored, so the encoded size is
+// 8*rows*ceil(cols/64) bytes plus two varints. DecodeMatrix treats its input
+// as untrusted: dimensions are bounded before any allocation and the
+// tail-bit representation invariant (bits beyond the column count in the
+// last word of each row are zero) is re-established on load, so a matrix
+// decoded from corrupted bytes is still a well-formed Matrix.
+
+// maxDecodeDim bounds each decoded dimension. Reachability matrices are
+// indexed by module ports, which number in the tens; the bound exists only
+// so corrupted dimension fields fail fast instead of driving a huge (if
+// byte-budget-checked) allocation.
+const maxDecodeDim = 1 << 20
+
+// AppendBinary appends the matrix's binary encoding to buf and returns the
+// extended slice.
+func (m *Matrix) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.rows))
+	buf = binary.AppendUvarint(buf, uint64(m.cols))
+	for _, w := range m.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// DecodeMatrix decodes one matrix from the front of data, returning the
+// matrix and the number of bytes consumed. The input is untrusted: the
+// declared dimensions must be sane and fully backed by the remaining bytes
+// before anything is allocated, and stray bits beyond the column count are
+// masked off so the decoded matrix always satisfies the representation
+// invariant.
+func DecodeMatrix(data []byte) (*Matrix, int, error) {
+	rows64, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("boolmat: truncated or malformed row count")
+	}
+	pos := n
+	cols64, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("boolmat: truncated or malformed column count")
+	}
+	pos += n
+	if rows64 > maxDecodeDim || cols64 > maxDecodeDim {
+		return nil, 0, fmt.Errorf("boolmat: decoded dimension %dx%d exceeds the %d limit", rows64, cols64, maxDecodeDim)
+	}
+	rows, cols := int(rows64), int(cols64)
+	stride := (cols + wordBits - 1) / wordBits
+	words := rows * stride
+	if need := 8 * words; len(data)-pos < need {
+		return nil, 0, fmt.Errorf("boolmat: %dx%d matrix needs %d payload bytes, %d remain", rows, cols, need, len(data)-pos)
+	}
+	m := New(rows, cols)
+	for i := range m.bits {
+		m.bits[i] = binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+	}
+	// Re-establish the invariant: a corrupted stream may set bits beyond the
+	// column count, which would poison word-level Equal/IsFull/CountTrue.
+	if stride > 0 {
+		mask := m.tailMask()
+		for i := 0; i < rows; i++ {
+			m.bits[(i+1)*stride-1] &= mask
+		}
+	}
+	return m, pos, nil
+}

@@ -1,0 +1,98 @@
+package boolmat
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := randomDim(r), randomDim(r)
+		m := randomDense(r, rows, cols, []float64{0, 0.1, 0.5, 1}[trial%4])
+		buf := m.AppendBinary(nil)
+		got, n, err := DecodeMatrix(buf)
+		if err != nil {
+			t.Fatalf("decode %dx%d: %v", rows, cols, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode %dx%d consumed %d of %d bytes", rows, cols, n, len(buf))
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip changed a %dx%d matrix", rows, cols)
+		}
+		checkTail(t, "DecodeMatrix", got)
+	}
+}
+
+func TestMatrixBinaryRoundTripWithTrailingData(t *testing.T) {
+	m := Identity(5)
+	buf := m.AppendBinary(nil)
+	want := len(buf)
+	buf = append(buf, 0xAB, 0xCD)
+	got, n, err := DecodeMatrix(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("consumed %d bytes, want %d (trailing data must be left alone)", n, want)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip with trailing data changed the matrix")
+	}
+}
+
+// TestDecodeMatrixMasksStrayTailBits corrupts the last word of a row so bits
+// beyond the column count are set; the decoder must re-establish the
+// representation invariant rather than return a matrix that poisons
+// word-level comparisons.
+func TestDecodeMatrixMasksStrayTailBits(t *testing.T) {
+	m := Full(3, 10) // stride 1, tail mask 0x3FF
+	buf := m.AppendBinary(nil)
+	// The words start right after the two one-byte varints (3 and 10).
+	copy(buf[2:], []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	got, _, err := DecodeMatrix(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTail(t, "corrupted input", got)
+	if !got.Equal(m) {
+		t.Fatalf("masked decode = %v, want the all-true matrix %v", got, m)
+	}
+	if !got.IsFull() {
+		t.Fatal("IsFull must hold after the tail bits are masked")
+	}
+}
+
+func TestDecodeMatrixRejectsMalformedInput(t *testing.T) {
+	valid := Identity(4).AppendBinary(nil)
+	cases := map[string][]byte{
+		"empty":             {},
+		"rows only":         {4},
+		"truncated words":   valid[:len(valid)-1],
+		"huge rows":         binary.AppendUvarint([]byte{}, 1<<40),
+		"huge cols":         binary.AppendUvarint(binary.AppendUvarint([]byte{}, 2), 1<<40),
+		"unbacked payload":  binary.AppendUvarint(binary.AppendUvarint([]byte{}, 1000), 1000),
+		"malformed varint":  {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+		"overflowing claim": binary.AppendUvarint(binary.AppendUvarint([]byte{}, 1<<20), 1<<20),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeMatrix(data); err == nil {
+			t.Errorf("%s: DecodeMatrix accepted malformed input", name)
+		}
+	}
+}
+
+func TestDecodeMatrixZeroDimensions(t *testing.T) {
+	for _, dims := range [][2]int{{0, 0}, {0, 7}, {7, 0}} {
+		m := New(dims[0], dims[1])
+		got, n, err := DecodeMatrix(m.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		if n == 0 || !got.Equal(m) {
+			t.Fatalf("%dx%d: bad round trip", dims[0], dims[1])
+		}
+	}
+}

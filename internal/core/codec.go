@@ -82,6 +82,11 @@ func (r *bitReader) readGamma() (uint64, error) {
 			break
 		}
 		zeros++
+		// A 63-bit unary prefix would decode to a value that overflows
+		// uint64; no writer emits one, so the stream is corrupt.
+		if zeros > 62 {
+			return 0, fmt.Errorf("core: gamma code with %d-bit unary prefix exceeds the representable range", zeros+1)
+		}
 	}
 	v := uint64(1)
 	for i := 0; i < zeros; i++ {
@@ -108,11 +113,24 @@ func bitsFor(max int) int {
 // widths derived from the specification; child positions i, which grow with
 // the run, use Elias-gamma codes; the common prefix of the output-port path
 // and the input-port path is factored out, as suggested in Section 4.2.2.
+//
+// Decode treats its input as untrusted: every fixed-width field is checked
+// against the real maximum the width was derived from (bitsFor rounds up to
+// whole bits, so the widths admit values past the maxima), and the stream
+// must be consumed exactly, so Decode accepts Encode's output and nothing
+// else.
 type Codec struct {
 	kBits    int
 	sBits    int
 	tBits    int
 	portBits int
+
+	// The real maxima behind the widths above, used to reject decoded
+	// values that a width admits but no writer can produce.
+	maxK    int // production count
+	maxS    int // cycle count
+	maxT    int // longest cycle length
+	maxPort int // largest port count of any module
 }
 
 // NewCodec derives the fixed field widths from the scheme's specification.
@@ -137,6 +155,10 @@ func NewCodec(s *Scheme) *Codec {
 		sBits:    bitsFor(len(s.Cycles)),
 		tBits:    bitsFor(maxCycleLen),
 		portBits: bitsFor(maxPort),
+		maxK:     len(s.Spec.Grammar.Productions),
+		maxS:     len(s.Cycles),
+		maxT:     maxCycleLen,
+		maxPort:  maxPort,
 	}
 }
 
@@ -163,9 +185,15 @@ func (c *Codec) readEdge(r *bitReader) (EdgeLabel, error) {
 		if err != nil {
 			return EdgeLabel{}, err
 		}
+		if s < 1 || s > uint64(c.maxS) {
+			return EdgeLabel{}, fmt.Errorf("core: decoded cycle index %d out of range [1, %d]", s, c.maxS)
+		}
 		t, err := r.readBits(c.tBits)
 		if err != nil {
 			return EdgeLabel{}, err
+		}
+		if t < 1 || t > uint64(c.maxT) {
+			return EdgeLabel{}, fmt.Errorf("core: decoded cycle offset %d out of range [1, %d]", t, c.maxT)
 		}
 		i, err := r.readGamma()
 		if err != nil {
@@ -176,6 +204,9 @@ func (c *Codec) readEdge(r *bitReader) (EdgeLabel, error) {
 	k, err := r.readBits(c.kBits)
 	if err != nil {
 		return EdgeLabel{}, err
+	}
+	if k < 1 || k > uint64(c.maxK) {
+		return EdgeLabel{}, fmt.Errorf("core: decoded production index %d out of range [1, %d]", k, c.maxK)
 	}
 	i, err := r.readGamma()
 	if err != nil {
@@ -197,6 +228,15 @@ func (c *Codec) readPath(r *bitReader) ([]EdgeLabel, error) {
 		return nil, err
 	}
 	count := int(n) - 1
+	// Untrusted input: a corrupted gamma code can claim up to 2^62 edges.
+	// Every encoded edge costs at least 2 bits (the recursive flag plus a
+	// one-bit gamma terminator), so a count beyond half the remaining bit
+	// budget cannot be honored by any well-formed stream — reject it before
+	// allocating, instead of attempting an unbounded allocation that only
+	// fails once the stream runs dry.
+	if remaining := r.nbit - r.pos; count > remaining/2 {
+		return nil, fmt.Errorf("core: path claims %d edges but only %d bits remain", count, remaining)
+	}
 	path := make([]EdgeLabel, 0, count)
 	for i := 0; i < count; i++ {
 		e, err := c.readEdge(r)
@@ -241,9 +281,34 @@ func (c *Codec) SizeBits(d *DataLabel) int {
 	return n
 }
 
-// Decode parses a label previously produced by Encode.
+// Decode parses a label previously produced by Encode. The input is
+// untrusted (labels may arrive from storage or the network): decoded fields
+// are checked against the specification-derived maxima, the declared bit
+// count must fit the buffer, and the stream must be consumed exactly —
+// trailing bits are rejected, so for every (buf, nbit) pair there is at most
+// one label, the one Encode produces.
 func (c *Codec) Decode(buf []byte, nbit int) (*DataLabel, error) {
+	if nbit < 0 || nbit > 8*len(buf) {
+		return nil, fmt.Errorf("core: declared bit count %d does not fit a %d-byte buffer", nbit, len(buf))
+	}
+	if want := (nbit + 7) / 8; len(buf) != want {
+		return nil, fmt.Errorf("core: %d-bit label must occupy exactly %d bytes, got %d", nbit, want, len(buf))
+	}
+	if pad := 8*len(buf) - nbit; pad > 0 && buf[len(buf)-1]&(1<<uint(pad)-1) != 0 {
+		return nil, fmt.Errorf("core: nonzero padding bits after the %d-bit label", nbit)
+	}
 	r := newBitReader(buf, nbit)
+	d, err := c.decodeBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != r.nbit {
+		return nil, fmt.Errorf("core: %d unconsumed trailing bits after a complete label", r.nbit-r.pos)
+	}
+	return d, nil
+}
+
+func (c *Codec) decodeBody(r *bitReader) (*DataLabel, error) {
 	kind, err := r.readBits(2)
 	if err != nil {
 		return nil, err
@@ -256,6 +321,9 @@ func (c *Codec) Decode(buf []byte, nbit int) (*DataLabel, error) {
 		p, err := r.readBits(c.portBits)
 		if err != nil {
 			return nil, err
+		}
+		if p >= uint64(c.maxPort) {
+			return nil, fmt.Errorf("core: decoded port index %d out of range [0, %d)", p, c.maxPort)
 		}
 		return &PortLabel{Path: path, Port: int(p)}, nil
 	}
@@ -294,6 +362,16 @@ func (c *Codec) Decode(buf []byte, nbit int) (*DataLabel, error) {
 		inPort, err := r.readBits(c.portBits)
 		if err != nil {
 			return nil, err
+		}
+		if outPort >= uint64(c.maxPort) || inPort >= uint64(c.maxPort) {
+			return nil, fmt.Errorf("core: decoded port index (%d, %d) out of range [0, %d)", outPort, inPort, c.maxPort)
+		}
+		// Encode factors out the *maximal* common prefix, so suffixes that
+		// both start with the same edge can only come from a non-canonical
+		// writer; accepting them would let two distinct streams decode to
+		// the same label.
+		if len(outSuffix) > 0 && len(inSuffix) > 0 && outSuffix[0] == inSuffix[0] {
+			return nil, fmt.Errorf("core: non-canonical shared prefix: both path suffixes start with %v", outSuffix[0])
 		}
 		out := &PortLabel{Path: append(append([]EdgeLabel(nil), shared...), outSuffix...), Port: int(outPort)}
 		in := &PortLabel{Path: append(append([]EdgeLabel(nil), shared...), inSuffix...), Port: int(inPort)}

@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolmat"
+	"repro/internal/core"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// frozenFixture builds a query-efficient label over the paper example's
+// default view and freezes it, giving the tamper tests below a fully
+// populated frozen state (materialized matrices and recursion caches).
+func frozenFixture(t *testing.T) (*core.Scheme, *view.View, *core.FrozenLabel) {
+	t.Helper()
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view.Default(spec)
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scheme, v, vl.Freeze()
+}
+
+// copyFrozen clones the map structure (not the matrices) so each tamper test
+// mutates its own frozen label.
+func copyFrozen(f *core.FrozenLabel) *core.FrozenLabel {
+	c := *f
+	c.IMat = map[[2]int]*boolmat.Matrix{}
+	for k, m := range f.IMat {
+		c.IMat[k] = m
+	}
+	c.OMat = map[[2]int]*boolmat.Matrix{}
+	for k, m := range f.OMat {
+		c.OMat[k] = m
+	}
+	c.ZMat = map[[3]int]*boolmat.Matrix{}
+	for k, m := range f.ZMat {
+		c.ZMat[k] = m
+	}
+	c.InRec = map[[2]int]*core.FrozenChain{}
+	for k, fc := range f.InRec {
+		cc := *fc
+		c.InRec[k] = &cc
+	}
+	c.OutRec = map[[2]int]*core.FrozenChain{}
+	for k, fc := range f.OutRec {
+		cc := *fc
+		c.OutRec[k] = &cc
+	}
+	c.Full = f.Full.Clone()
+	return &c
+}
+
+func TestRestoreViewRoundTrip(t *testing.T) {
+	scheme, v, f := frozenFixture(t)
+	vl, err := scheme.RestoreView(v, f)
+	if err != nil {
+		t.Fatalf("RestoreView on an untampered frozen label: %v", err)
+	}
+	if vl.Variant() != core.VariantQueryEfficient {
+		t.Fatalf("restored variant %v", vl.Variant())
+	}
+}
+
+func TestRestoreViewRejectsStructuralDamage(t *testing.T) {
+	scheme, v, f := frozenFixture(t)
+
+	someKI := func(m map[[2]int]*boolmat.Matrix) [2]int {
+		for k := range m {
+			return k
+		}
+		t.Fatal("empty map")
+		return [2]int{}
+	}
+	someKIJ := func(m map[[3]int]*boolmat.Matrix) [3]int {
+		for k := range m {
+			return k
+		}
+		t.Fatal("empty map")
+		return [3]int{}
+	}
+	someChain := func(m map[[2]int]*core.FrozenChain) [2]int {
+		for k := range m {
+			return k
+		}
+		t.Fatal("empty map")
+		return [2]int{}
+	}
+
+	cases := map[string]func(f *core.FrozenLabel){
+		"unknown variant":  func(f *core.FrozenLabel) { f.Variant = core.Variant(42) },
+		"nil start matrix": func(f *core.FrozenLabel) { f.Start = nil },
+		"start matrix dimension clash": func(f *core.FrozenLabel) {
+			f.Start = boolmat.Full(7, 7)
+		},
+		"full assignment for undeclared module": func(f *core.FrozenLabel) {
+			f.Full["ghost"] = boolmat.Full(2, 2)
+		},
+		"full assignment dimension clash": func(f *core.FrozenLabel) {
+			f.Full["S"] = boolmat.Full(1, 9)
+		},
+		"full assignment missing a reachable module": func(f *core.FrozenLabel) {
+			delete(f.Full, "S")
+		},
+		"full assignment gutted": func(f *core.FrozenLabel) {
+			f.Full = nil
+		},
+		"I matrix for out-of-range production": func(f *core.FrozenLabel) {
+			f.IMat[[2]int{99, 1}] = boolmat.Full(2, 2)
+		},
+		"I matrix for out-of-range node": func(f *core.FrozenLabel) {
+			f.IMat[[2]int{1, 42}] = boolmat.Full(2, 2)
+		},
+		"I matrix dimension clash": func(f *core.FrozenLabel) {
+			f.IMat[someKI(f.IMat)] = boolmat.Full(33, 33)
+		},
+		"O matrix dimension clash": func(f *core.FrozenLabel) {
+			f.OMat[someKI(f.OMat)] = boolmat.Full(33, 33)
+		},
+		"Z matrix with i >= j": func(f *core.FrozenLabel) {
+			f.ZMat[[3]int{1, 3, 2}] = boolmat.Full(2, 2)
+		},
+		"Z matrix dimension clash": func(f *core.FrozenLabel) {
+			f.ZMat[someKIJ(f.ZMat)] = boolmat.Full(33, 33)
+		},
+		"recursion cache for unknown cycle": func(f *core.FrozenLabel) {
+			f.InRec[[2]int{9, 1}] = f.InRec[someChain(f.InRec)]
+		},
+		"recursion cache offset out of range": func(f *core.FrozenLabel) {
+			f.InRec[[2]int{1, 99}] = f.InRec[someChain(f.InRec)]
+		},
+		"recursion cache with wrong prefix count": func(f *core.FrozenLabel) {
+			k := someChain(f.OutRec)
+			f.OutRec[k].Prefixes = f.OutRec[k].Prefixes[:1]
+		},
+		"recursion cache with zero period": func(f *core.FrozenLabel) {
+			f.InRec[someChain(f.InRec)].Period = 0
+		},
+		"recursion cache with incomplete power table": func(f *core.FrozenLabel) {
+			k := someChain(f.InRec)
+			f.InRec[k].Preperiod = 5
+			f.InRec[k].Period = 5
+		},
+		"missing materialized matrices": func(f *core.FrozenLabel) {
+			f.IMat = nil
+		},
+		"missing recursion caches": func(f *core.FrozenLabel) {
+			f.InRec, f.OutRec = nil, nil
+		},
+	}
+	for name, tamper := range cases {
+		bad := copyFrozen(f)
+		tamper(bad)
+		if _, err := scheme.RestoreView(v, bad); err == nil {
+			t.Errorf("%s: RestoreView accepted the damaged state", name)
+		}
+	}
+}
+
+func TestRestoreViewRejectsVariantMismatch(t *testing.T) {
+	scheme, v, f := frozenFixture(t)
+
+	// A space-efficient label must not smuggle in materialized state.
+	bad := copyFrozen(f)
+	bad.Variant = core.VariantSpaceEfficient
+	if _, err := scheme.RestoreView(v, bad); err == nil {
+		t.Error("space-efficient frozen label with materialized matrices accepted")
+	}
+
+	// A default-variant label must not carry recursion caches.
+	bad = copyFrozen(f)
+	bad.Variant = core.VariantDefault
+	if _, err := scheme.RestoreView(v, bad); err == nil {
+		t.Error("default-variant frozen label with recursion caches accepted")
+	}
+}
+
+func TestRestoreViewRejectsForeignView(t *testing.T) {
+	scheme, _, f := frozenFixture(t)
+	other := view.Default(workloads.PaperExample())
+	_, err := scheme.RestoreView(other, f)
+	if err == nil || !strings.Contains(err.Error(), "different specification") {
+		t.Fatalf("RestoreView accepted a view over a different specification (err=%v)", err)
+	}
+}
+
+// TestRestoreViewRejectsExcludedCycleCache pins the stricter-than-LabelView
+// rule: a recursion cache keyed to a cycle the view does not fully include
+// can only come from a tampered snapshot.
+func TestRestoreViewRejectsExcludedCycleCache(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The security view keeps S, A, B expandable: cycle C(2) = {(6,2)} (the
+	// D -> D recursion, inside C's productions) is excluded.
+	sec, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := scheme.LabelView(sec, core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vl.Freeze()
+	def, err := scheme.LabelView(view.Default(spec), core.VariantQueryEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := def.Freeze()
+	bad := copyFrozen(f)
+	grafted := false
+	for key, fc := range donor.InRec {
+		if _, ok := f.InRec[key]; !ok {
+			bad.InRec[key] = fc
+			grafted = true
+			break
+		}
+	}
+	if !grafted {
+		t.Skip("security view caches every cycle; nothing to graft")
+	}
+	if _, err := scheme.RestoreView(sec, bad); err == nil {
+		t.Fatal("RestoreView accepted a recursion cache for an excluded cycle")
+	}
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/labelstore"
+)
+
+// Server fronts a set of view labels with the batch query engine: one label
+// per view name, all sharing a worker pool. It is the serving half of the
+// snapshot workflow — wflabel computes and persists the labels once,
+// NewServerFromSnapshot restores them, and every query after that runs
+// against the warm artifact without any relabeling.
+type Server struct {
+	engine *Engine
+	scheme *core.Scheme
+	labels map[string]*core.ViewLabel
+}
+
+// NewServer builds a server over already-constructed labels. Every label
+// must belong to the scheme's specification and view names must be unique.
+func NewServer(scheme *core.Scheme, labels []*core.ViewLabel, workers int) (*Server, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("engine: nil scheme")
+	}
+	s := &Server{engine: New(workers), scheme: scheme, labels: map[string]*core.ViewLabel{}}
+	for i, vl := range labels {
+		if vl == nil {
+			return nil, fmt.Errorf("engine: label %d is nil", i)
+		}
+		name := vl.View().Name
+		if vl.View().Spec != scheme.Spec {
+			return nil, fmt.Errorf("engine: view %q belongs to a different specification", name)
+		}
+		if _, dup := s.labels[name]; dup {
+			return nil, fmt.Errorf("engine: two labels for view %q", name)
+		}
+		s.labels[name] = vl
+	}
+	return s, nil
+}
+
+// NewServerFromSnapshot serves a loaded label snapshot directly; workers <= 0
+// means GOMAXPROCS.
+func NewServerFromSnapshot(snap *labelstore.Snapshot, workers int) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("engine: nil snapshot")
+	}
+	return NewServer(snap.Scheme, snap.Labels, workers)
+}
+
+// Scheme returns the scheme the server's labels were computed over.
+func (s *Server) Scheme() *core.Scheme { return s.scheme }
+
+// Views returns the served view names in sorted order.
+func (s *Server) Views() []string {
+	out := make([]string, 0, len(s.labels))
+	for name := range s.labels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Label returns the label serving the named view.
+func (s *Server) Label(viewName string) (*core.ViewLabel, bool) {
+	vl, ok := s.labels[viewName]
+	return vl, ok
+}
+
+// DependsOnBatch answers a batch of queries against the named view. It fails
+// only when the view is unknown; per-query problems surface in the
+// corresponding Result.
+func (s *Server) DependsOnBatch(viewName string, queries []Query) ([]Result, error) {
+	vl, ok := s.labels[viewName]
+	if !ok {
+		return nil, fmt.Errorf("engine: no label for view %q (serving %v)", viewName, s.Views())
+	}
+	return s.engine.DependsOnBatch(vl, queries), nil
+}

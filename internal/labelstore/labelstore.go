@@ -1,0 +1,709 @@
+// Package labelstore persists labeling schemes and view labels so a serving
+// process can answer reachability queries from a warm artifact instead of
+// relabeling every view on start — the "compute the labels once, query them
+// forever" deployment the paper's experiments assume.
+//
+// A snapshot is a single binary blob:
+//
+//	offset  size  field
+//	0       8     magic "FVLSNAP\x01" (the last byte is the format version)
+//	8       4     uint32 LE: CRC-32 (IEEE) of the payload
+//	12      8     uint64 LE: payload length in bytes
+//	20      —     payload
+//
+// and the payload is a sequence of sections built from three primitives —
+// unsigned varints, length-prefixed strings and boolmat's binary matrix
+// encoding:
+//
+//	byte    scheme kind (0 = compact, 1 = basic / Theorem-1 fallback)
+//	bytes   the specification as the workflow package's JSON document
+//	uvarint number of view labels, then per label:
+//	  string  view name
+//	  byte    variant
+//	  strings ∆′ (the expandable composite modules)
+//	  assign  λ′ (the view's dependency assignment)
+//	  assign  λ*′ (the full dependency assignment)
+//	  matrix  λ*(S)
+//	  byte    1 if materialized matrices follow: I, O and Z maps
+//	  byte    1 if recursion caches follow: in- and out-chain maps
+//
+// Everything read back is untrusted: the checksum catches accidental
+// corruption, and byte-budget checks before every allocation plus the
+// strict validation of workflow.ReadSpecification, view.New and
+// core.Scheme.RestoreView catch the rest, so Load returns an error — never
+// a panic or an unbounded allocation — on arbitrary input (see FuzzLoad).
+package labelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/boolmat"
+	"repro/internal/core"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// magic identifies a snapshot; its final byte is the format version.
+var magic = [8]byte{'F', 'V', 'L', 'S', 'N', 'A', 'P', 0x01}
+
+const headerSize = 8 + 4 + 8
+
+// maxStringLen bounds decoded module and view names; real names are a few
+// characters, the bound only stops corrupted lengths from driving huge
+// allocations.
+const maxStringLen = 1 << 16
+
+// Snapshot is the in-memory form of a persisted labeling state: one scheme
+// and any number of restored view labels, ready to serve queries.
+type Snapshot struct {
+	Scheme *core.Scheme
+	Labels []*core.ViewLabel
+}
+
+// Label returns the label for the named view, or false.
+func (s *Snapshot) Label(viewName string) (*core.ViewLabel, bool) {
+	for _, vl := range s.Labels {
+		if vl.View().Name == viewName {
+			return vl, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Saving.
+// ---------------------------------------------------------------------------
+
+// Save writes a snapshot of the scheme and the given view labels. Every
+// label must have been computed over the scheme (LabelView or RestoreView).
+func Save(w io.Writer, scheme *core.Scheme, labels []*core.ViewLabel) error {
+	if scheme == nil {
+		return fmt.Errorf("labelstore: nil scheme")
+	}
+	payload, err := encodePayload(scheme, labels)
+	if err != nil {
+		return err
+	}
+	header := make([]byte, headerSize)
+	copy(header, magic[:])
+	binary.LittleEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// SaveFile writes a snapshot to a file.
+func SaveFile(path string, scheme *core.Scheme, labels []*core.ViewLabel) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, scheme, labels); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func encodePayload(scheme *core.Scheme, labels []*core.ViewLabel) ([]byte, error) {
+	var buf []byte
+	if scheme.IsBasic() {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	spec, err := json.Marshal(scheme.Spec)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendBytes(buf, spec)
+	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	for i, vl := range labels {
+		if vl == nil {
+			return nil, fmt.Errorf("labelstore: label %d is nil", i)
+		}
+		v := vl.View()
+		if v.Spec != scheme.Spec {
+			return nil, fmt.Errorf("labelstore: label %d (view %q) belongs to a different specification", i, v.Name)
+		}
+		buf = appendString(buf, v.Name)
+		buf = append(buf, byte(vl.Variant()))
+		buf = appendStrings(buf, v.ExpandableModules())
+		buf = appendAssignment(buf, v.Deps)
+		f := vl.Freeze()
+		buf = appendAssignment(buf, f.Full)
+		buf = f.Start.AppendBinary(buf)
+		if f.IMat != nil || f.OMat != nil || f.ZMat != nil {
+			buf = append(buf, 1)
+			buf = appendKIMap(buf, f.IMat)
+			buf = appendKIMap(buf, f.OMat)
+			buf = appendKIJMap(buf, f.ZMat)
+		} else {
+			buf = append(buf, 0)
+		}
+		if f.InRec != nil || f.OutRec != nil {
+			buf = append(buf, 1)
+			buf = appendChainMap(buf, f.InRec)
+			buf = appendChainMap(buf, f.OutRec)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
+	}
+	return buf
+}
+
+// appendAssignment writes a dependency assignment in sorted module order so
+// snapshots are byte-for-byte deterministic.
+func appendAssignment(buf []byte, a workflow.DependencyAssignment) []byte {
+	names := make([]string, 0, len(a))
+	for name := range a {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = appendString(buf, name)
+		buf = a[name].AppendBinary(buf)
+	}
+	return buf
+}
+
+func appendKIMap(buf []byte, m map[[2]int]*boolmat.Matrix) []byte {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(k[0]))
+		buf = binary.AppendUvarint(buf, uint64(k[1]))
+		buf = m[k].AppendBinary(buf)
+	}
+	return buf
+}
+
+func appendKIJMap(buf []byte, m map[[3]int]*boolmat.Matrix) []byte {
+	keys := make([][3]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		if keys[a][1] != keys[b][1] {
+			return keys[a][1] < keys[b][1]
+		}
+		return keys[a][2] < keys[b][2]
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(k[0]))
+		buf = binary.AppendUvarint(buf, uint64(k[1]))
+		buf = binary.AppendUvarint(buf, uint64(k[2]))
+		buf = m[k].AppendBinary(buf)
+	}
+	return buf
+}
+
+func appendChainMap(buf []byte, m map[[2]int]*core.FrozenChain) []byte {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		fc := m[k]
+		buf = binary.AppendUvarint(buf, uint64(k[0]))
+		buf = binary.AppendUvarint(buf, uint64(k[1]))
+		buf = binary.AppendUvarint(buf, uint64(len(fc.Prefixes)))
+		for _, p := range fc.Prefixes {
+			buf = p.AppendBinary(buf)
+		}
+		buf = binary.AppendUvarint(buf, uint64(fc.Preperiod))
+		buf = binary.AppendUvarint(buf, uint64(fc.Period))
+		buf = binary.AppendUvarint(buf, uint64(len(fc.Powers)))
+		for _, p := range fc.Powers {
+			buf = p.AppendBinary(buf)
+		}
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Loading.
+// ---------------------------------------------------------------------------
+
+// Load reads a snapshot, validates it end to end and restores the scheme and
+// its view labels without relabeling. Any structural problem — bad magic,
+// checksum mismatch, truncation, out-of-range indices, dimension clashes
+// with the specification — yields an error.
+func Load(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBytes(data)
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// LoadBytes is Load over an in-memory snapshot.
+func LoadBytes(data []byte) (*Snapshot, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("labelstore: %d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("labelstore: bad magic %q (not a label snapshot, or an unsupported version)", data[:8])
+	}
+	sum := binary.LittleEndian.Uint32(data[8:])
+	length := binary.LittleEndian.Uint64(data[12:])
+	payload := data[headerSize:]
+	if length != uint64(len(payload)) {
+		return nil, fmt.Errorf("labelstore: header declares %d payload bytes, %d present", length, len(payload))
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("labelstore: checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	d := &decoder{data: payload}
+	snap, err := d.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("labelstore: %d trailing payload bytes after the last label", len(d.data)-d.pos)
+	}
+	return snap, nil
+}
+
+// decoder is a bounds-checked cursor over the payload. Every read verifies
+// the remaining byte budget before allocating, so a corrupted length field
+// fails fast instead of attempting a huge allocation.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("labelstore: truncated payload")
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("labelstore: truncated or malformed varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads a collection size and rejects values that the remaining bytes
+// cannot back at minBytes per element.
+func (d *decoder) count(what string, minBytes int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()/minBytes) {
+		return 0, fmt.Errorf("labelstore: %s claims %d elements but only %d bytes remain", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(d.remaining()) {
+		return nil, fmt.Errorf("labelstore: byte block claims %d bytes but only %d remain", n, d.remaining())
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen || n > uint64(d.remaining()) {
+		return "", fmt.Errorf("labelstore: string claims %d bytes but only %d remain (limit %d)", n, d.remaining(), maxStringLen)
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) matrix() (*boolmat.Matrix, error) {
+	m, n, err := boolmat.DecodeMatrix(d.data[d.pos:])
+	if err != nil {
+		return nil, err
+	}
+	d.pos += n
+	return m, nil
+}
+
+func (d *decoder) strings() ([]string, error) {
+	n, err := d.count("string list", 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+func (d *decoder) assignment() (workflow.DependencyAssignment, error) {
+	n, err := d.count("dependency assignment", 3)
+	if err != nil {
+		return nil, err
+	}
+	a := make(workflow.DependencyAssignment, n)
+	for i := 0; i < n; i++ {
+		name, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := a[name]; dup {
+			return nil, fmt.Errorf("labelstore: duplicate dependency matrix for module %q", name)
+		}
+		m, err := d.matrix()
+		if err != nil {
+			return nil, err
+		}
+		a[name] = m
+	}
+	return a, nil
+}
+
+func (d *decoder) kiMap() (map[[2]int]*boolmat.Matrix, error) {
+	n, err := d.count("matrix map", 4)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[[2]int]*boolmat.Matrix, n)
+	for e := 0; e < n; e++ {
+		k, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		i, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		key, err := intKey2(k, i)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("labelstore: duplicate matrix for key (%d,%d)", k, i)
+		}
+		mat, err := d.matrix()
+		if err != nil {
+			return nil, err
+		}
+		m[key] = mat
+	}
+	return m, nil
+}
+
+func (d *decoder) kijMap() (map[[3]int]*boolmat.Matrix, error) {
+	n, err := d.count("matrix map", 5)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[[3]int]*boolmat.Matrix, n)
+	for e := 0; e < n; e++ {
+		k, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		i, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		j, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		key, err := intKey3(k, i, j)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("labelstore: duplicate matrix for key (%d,%d,%d)", k, i, j)
+		}
+		mat, err := d.matrix()
+		if err != nil {
+			return nil, err
+		}
+		m[key] = mat
+	}
+	return m, nil
+}
+
+func (d *decoder) chainMap() (map[[2]int]*core.FrozenChain, error) {
+	n, err := d.count("recursion-cache map", 6)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[[2]int]*core.FrozenChain, n)
+	for e := 0; e < n; e++ {
+		s, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		key, err := intKey2(s, t)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("labelstore: duplicate recursion cache for key (%d,%d)", s, t)
+		}
+		fc := &core.FrozenChain{}
+		np, err := d.count("prefix products", 2)
+		if err != nil {
+			return nil, err
+		}
+		fc.Prefixes = make([]*boolmat.Matrix, np)
+		for i := range fc.Prefixes {
+			if fc.Prefixes[i], err = d.matrix(); err != nil {
+				return nil, err
+			}
+		}
+		pre, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		per, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if fc.Preperiod, err = toInt(pre); err != nil {
+			return nil, err
+		}
+		if fc.Period, err = toInt(per); err != nil {
+			return nil, err
+		}
+		npw, err := d.count("periodic powers", 2)
+		if err != nil {
+			return nil, err
+		}
+		fc.Powers = make([]*boolmat.Matrix, npw)
+		for i := range fc.Powers {
+			if fc.Powers[i], err = d.matrix(); err != nil {
+				return nil, err
+			}
+		}
+		m[key] = fc
+	}
+	return m, nil
+}
+
+func (d *decoder) snapshot() (*Snapshot, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind > 1 {
+		return nil, fmt.Errorf("labelstore: unknown scheme kind %d", kind)
+	}
+	specBytes, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	spec := &workflow.Specification{}
+	if err := spec.UnmarshalJSON(specBytes); err != nil {
+		return nil, fmt.Errorf("labelstore: invalid specification: %w", err)
+	}
+	var scheme *core.Scheme
+	if kind == 1 {
+		scheme, err = core.NewSchemeBasic(spec)
+	} else {
+		scheme, err = core.NewScheme(spec)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("labelstore: rebuilding scheme: %w", err)
+	}
+
+	numLabels, err := d.count("label list", 8)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{Scheme: scheme}
+	seen := map[string]bool{}
+	for l := 0; l < numLabels; l++ {
+		name, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("labelstore: snapshot stores view %q twice", name)
+		}
+		seen[name] = true
+		variant, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		include, err := d.strings()
+		if err != nil {
+			return nil, err
+		}
+		deps, err := d.assignment()
+		if err != nil {
+			return nil, err
+		}
+		v, err := view.New(name, spec, include, deps)
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: invalid view %q: %w", name, err)
+		}
+		f := &core.FrozenLabel{Variant: core.Variant(variant)}
+		if f.Full, err = d.assignment(); err != nil {
+			return nil, err
+		}
+		if f.Start, err = d.matrix(); err != nil {
+			return nil, err
+		}
+		hasMats, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if hasMats == 1 {
+			if f.IMat, err = d.kiMap(); err != nil {
+				return nil, err
+			}
+			if f.OMat, err = d.kiMap(); err != nil {
+				return nil, err
+			}
+			if f.ZMat, err = d.kijMap(); err != nil {
+				return nil, err
+			}
+		} else if hasMats != 0 {
+			return nil, fmt.Errorf("labelstore: view %q: bad materialized-matrices flag %d", name, hasMats)
+		}
+		hasRec, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if hasRec == 1 {
+			if f.InRec, err = d.chainMap(); err != nil {
+				return nil, err
+			}
+			if f.OutRec, err = d.chainMap(); err != nil {
+				return nil, err
+			}
+		} else if hasRec != 0 {
+			return nil, fmt.Errorf("labelstore: view %q: bad recursion-caches flag %d", name, hasRec)
+		}
+		vl, err := scheme.RestoreView(v, f)
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: view %q: %w", name, err)
+		}
+		snap.Labels = append(snap.Labels, vl)
+	}
+	return snap, nil
+}
+
+func intKey2(a, b uint64) ([2]int, error) {
+	ai, err := toInt(a)
+	if err != nil {
+		return [2]int{}, err
+	}
+	bi, err := toInt(b)
+	if err != nil {
+		return [2]int{}, err
+	}
+	return [2]int{ai, bi}, nil
+}
+
+func intKey3(a, b, c uint64) ([3]int, error) {
+	ai, err := toInt(a)
+	if err != nil {
+		return [3]int{}, err
+	}
+	bi, err := toInt(b)
+	if err != nil {
+		return [3]int{}, err
+	}
+	ci, err := toInt(c)
+	if err != nil {
+		return [3]int{}, err
+	}
+	return [3]int{ai, bi, ci}, nil
+}
+
+// toInt rejects values past a comfortable index range so downstream int
+// arithmetic cannot overflow.
+func toInt(v uint64) (int, error) {
+	if v > 1<<30 {
+		return 0, fmt.Errorf("labelstore: index %d out of range", v)
+	}
+	return int(v), nil
+}

@@ -6,6 +6,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/view"
 	"repro/internal/workflow"
 )
@@ -163,8 +165,9 @@ func PaperAbstractionView(spec *workflow.Specification) (*view.View, error) {
 // module S has two productions S -> (a) and S -> (b) whose atomic modules
 // induce different dependencies between S's inputs and outputs (a is
 // black-box, b is diagonal), so the specification is unsafe and no dynamic
-// labeling scheme exists for it (Example 9 / Theorem 1).
-func UnsafeExample() (*workflow.Grammar, workflow.DependencyAssignment) {
+// labeling scheme exists for it (Example 9 / Theorem 1). As library code it
+// propagates a grammar-construction failure instead of panicking.
+func UnsafeExample() (*workflow.Grammar, workflow.DependencyAssignment, error) {
 	b := workflow.NewBuilder().
 		Module("S", 2, 2).
 		Module("a", 2, 2).
@@ -180,7 +183,7 @@ func UnsafeExample() (*workflow.Grammar, workflow.DependencyAssignment) {
 	b.Deps("b", [2]int{0, 0}, [2]int{1, 1})
 	g, err := b.Grammar()
 	if err != nil {
-		panic(err)
+		return nil, nil, fmt.Errorf("workloads: building the unsafe example grammar: %w", err)
 	}
 	deps := workflow.DependencyAssignment{}
 	deps["a"] = workflow.CompleteDeps(g.Modules["a"])
@@ -188,5 +191,5 @@ func UnsafeExample() (*workflow.Grammar, workflow.DependencyAssignment) {
 	bm.Set(0, 1, false)
 	bm.Set(1, 0, false)
 	deps["b"] = bm
-	return g, deps
+	return g, deps, nil
 }

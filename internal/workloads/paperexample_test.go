@@ -153,7 +153,10 @@ func TestDefaultViewOfPaperExample(t *testing.T) {
 }
 
 func TestUnsafeExampleIsUnsafe(t *testing.T) {
-	g, deps := UnsafeExample()
+	g, deps, err := UnsafeExample()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
