@@ -11,12 +11,18 @@
 //	fvlbench -experiments engine -parallel 8
 //	fvlbench -experiments snapshot -load labels.fvl
 //	fvlbench -o results.txt       # also write the report to a file
+//	fvlbench -quick -json bench.json
 //
 // The engine experiment measures the concurrent serving layer (batch query
 // throughput and parallel multi-view labeling); -parallel caps its worker
 // sweep, defaulting to GOMAXPROCS. The snapshot experiment loads a label
 // snapshot written by wflabel -snapshot and differentially verifies it
 // against freshly built labels; without -load it is skipped.
+//
+// -json measures the system's representative hot paths under testing.B and
+// writes machine-readable records — experiment, ns/op, allocs/op, bytes/op —
+// to the given file (the BENCH_*.json trajectory format). It runs instead of
+// the printable experiments when given alone, or after them when combined.
 package main
 
 import (
@@ -28,7 +34,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bench"
+	"repro/fvl/bench"
 )
 
 func main() {
@@ -40,6 +46,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "largest worker count of the engine experiment's sweep (0 = GOMAXPROCS)")
 	load := flag.String("load", "", "label snapshot (from wflabel -snapshot) for the snapshot experiment")
 	output := flag.String("o", "", "also write the report to this file")
+	jsonOut := flag.String("json", "", "write machine-readable benchmark records (ns/op, allocs/op, bytes/op) to this file")
 	list := flag.Bool("list", false, "list the available experiments and exit")
 	flag.Parse()
 
@@ -66,39 +73,71 @@ func main() {
 	}
 	cfg.SnapshotPath = *load
 
-	var experiments []bench.Experiment
-	if *names == "all" {
-		experiments = bench.All()
-	} else {
-		for _, name := range strings.Split(*names, ",") {
-			name = strings.TrimSpace(name)
-			e, ok := bench.Lookup(name)
-			if !ok {
-				log.Fatalf("unknown experiment %q (use -list to see the available ones)", name)
+	// -json alone runs only the machine-readable benchmarks; combined with
+	// an explicit -experiments or -o it runs both. flag.Visit distinguishes
+	// an explicit "-experiments all" from the default.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	runTables := *jsonOut == "" || explicit["experiments"] || explicit["o"]
+
+	if runTables {
+		var experiments []bench.Experiment
+		if *names == "all" {
+			experiments = bench.All()
+		} else {
+			for _, name := range strings.Split(*names, ",") {
+				name = strings.TrimSpace(name)
+				e, ok := bench.Lookup(name)
+				if !ok {
+					log.Fatalf("unknown experiment %q (use -list to see the available ones)", name)
+				}
+				experiments = append(experiments, e)
 			}
-			experiments = append(experiments, e)
+		}
+
+		var out io.Writer = os.Stdout
+		if *output != "" {
+			f, err := os.Create(*output)
+			if err != nil {
+				log.Fatalf("creating %s: %v", *output, err)
+			}
+			defer f.Close()
+			out = io.MultiWriter(os.Stdout, f)
+		}
+
+		fmt.Fprintf(out, "FVL experiment harness — %d experiment(s), seed %d, %s scale\n\n",
+			len(experiments), cfg.Seed, scaleName(*quick))
+		for _, e := range experiments {
+			start := time.Now()
+			table, err := e.Run(cfg)
+			if err != nil {
+				log.Fatalf("%s: %v", e.Name, err)
+			}
+			fmt.Fprintf(out, "%s\n(completed in %v)\n\n", table, time.Since(start).Round(time.Millisecond))
 		}
 	}
 
-	var out io.Writer = os.Stdout
-	if *output != "" {
-		f, err := os.Create(*output)
+	if *jsonOut != "" {
+		// Create the output file before measuring, so a bad path fails in
+		// milliseconds instead of after minutes of benchmarking.
+		f, err := os.Create(*jsonOut)
 		if err != nil {
-			log.Fatalf("creating %s: %v", *output, err)
+			log.Fatalf("creating %s: %v", *jsonOut, err)
 		}
-		defer f.Close()
-		out = io.MultiWriter(os.Stdout, f)
-	}
-
-	fmt.Fprintf(out, "FVL experiment harness — %d experiment(s), seed %d, %s scale\n\n",
-		len(experiments), cfg.Seed, scaleName(*quick))
-	for _, e := range experiments {
 		start := time.Now()
-		table, err := e.Run(cfg)
+		records, err := bench.Records(cfg)
 		if err != nil {
-			log.Fatalf("%s: %v", e.Name, err)
+			f.Close()
+			log.Fatalf("benchmark records: %v", err)
 		}
-		fmt.Fprintf(out, "%s\n(completed in %v)\n\n", table, time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteRecords(f, records); err != nil {
+			f.Close()
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("wrote %d benchmark records to %s in %v\n", len(records), *jsonOut, time.Since(start).Round(time.Millisecond))
 	}
 }
 

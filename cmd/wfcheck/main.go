@@ -2,7 +2,8 @@
 // specification: properness (Definition 5), safety and the full dependency
 // assignment λ* (Section 3.1), linear and strict linear recursion
 // (Section 3.2), and the production-graph cycle enumeration used by the
-// labeling scheme (Section 4.1).
+// labeling scheme (Section 4.1). It is built entirely on the public fvl
+// package.
 //
 // Usage:
 //
@@ -17,13 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 
-	"repro/internal/labelstore"
-	"repro/internal/prodgraph"
-	"repro/internal/safety"
-	"repro/internal/workflow"
-	"repro/internal/workloads"
+	"repro/fvl"
 )
 
 func main() {
@@ -38,42 +34,37 @@ func main() {
 	recursion := flag.Int("recursion", 2, "synthetic: recursion length")
 	flag.Parse()
 
-	spec, err := selectWorkload(*workload, workloads.SyntheticParams{
+	spec, err := selectWorkload(*workload, fvl.SyntheticParams{
 		WorkflowSize: *size, ModuleDegree: *degree, NestingDepth: *depth, RecursionLength: *recursion,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *specFile != "" {
-		f, err := os.Open(*specFile)
+		spec, err = fvl.ReadSpecFile(*specFile)
 		if err != nil {
 			log.Fatal(err)
-		}
-		spec, err = workflow.ReadSpecification(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("reading %s: %v", *specFile, err)
 		}
 		*workload = *specFile
 	}
 	if *load != "" {
-		snap, err := labelstore.LoadFile(*load)
+		svc, err := fvl.OpenSnapshotFile(*load)
 		if err != nil {
 			log.Fatalf("loading snapshot %s: %v", *load, err)
 		}
-		spec = snap.Scheme.Spec
+		spec = svc.Spec()
 		*workload = *load
 		kind := "compact"
-		if snap.Scheme.IsBasic() {
+		if svc.IsBasic() {
 			kind = "basic (Theorem 1 fallback)"
 		}
 		fmt.Printf("snapshot:             %s (validated: checksum, dimensions and index ranges)\n", *load)
 		fmt.Printf("scheme kind:          %s\n", kind)
-		fmt.Printf("view labels:          %d\n", len(snap.Labels))
-		for _, vl := range snap.Labels {
-			v := vl.View()
+		fmt.Printf("view labels:          %d\n", len(svc.Views()))
+		for _, name := range svc.Views() {
+			vl, _ := svc.ViewLabel(name)
 			fmt.Printf("  %-16s %-16s %7d bytes, expandable %v\n",
-				v.Name, vl.Variant().String(), (vl.SizeBits()+7)/8, v.ExpandableModules())
+				name, vl.Variant().String(), (vl.SizeBits()+7)/8, vl.View().ExpandableModules())
 		}
 		fmt.Println()
 	}
@@ -82,45 +73,46 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := workflow.WriteSpecification(f, spec); err != nil {
+		if err := spec.WriteJSON(f); err != nil {
 			log.Fatal(err)
 		}
 		f.Close()
 		fmt.Printf("wrote specification to %s\n", *export)
 	}
-	g := spec.Grammar
+
+	a := spec.Analyze()
 
 	fmt.Printf("workflow:             %s\n", *workload)
 	fmt.Printf("modules:              %d (%d composite, %d atomic)\n",
-		len(g.Modules), len(g.Composites()), len(g.Atomics()))
-	fmt.Printf("productions:          %d\n", len(g.Productions))
-	fmt.Printf("start module:         %s\n", g.Start)
+		a.ModuleCount, a.CompositeCount, a.AtomicCount)
+	fmt.Printf("productions:          %d\n", a.ProductionCount)
+	fmt.Printf("start module:         %s\n", a.Start)
 
-	if err := g.Validate(); err != nil {
-		fmt.Printf("structurally valid:   no (%v)\n", err)
+	if !a.Valid() {
+		fmt.Printf("structurally valid:   no (%v)\n", a.ValidErr)
 		os.Exit(1)
 	}
 	fmt.Printf("structurally valid:   yes\n")
-	if err := g.CheckProper(); err != nil {
-		fmt.Printf("proper (Def. 5):      no (%v)\n", err)
+	if !a.Proper() {
+		fmt.Printf("proper (Def. 5):      no (%v)\n", a.ProperErr)
 	} else {
 		fmt.Printf("proper (Def. 5):      yes\n")
 	}
-	fmt.Printf("coarse-grained:       %v\n", spec.IsCoarseGrained())
+	fmt.Printf("coarse-grained:       %v\n", a.CoarseGrained)
 
-	pg := prodgraph.New(g)
-	fmt.Printf("linear-recursive:     %v\n", pg.IsLinearRecursive())
-	fmt.Printf("strictly linear:      %v\n", pg.IsStrictlyLinearRecursive())
-	if cycles, err := pg.Cycles(); err == nil {
-		fmt.Printf("recursions:           %d\n", len(cycles))
-		for _, c := range cycles {
+	fmt.Printf("linear-recursive:     %v\n", a.LinearRecursive)
+	fmt.Printf("strictly linear:      %v\n", a.StrictlyLinearRecursive)
+	if a.RecursionErr != nil {
+		fmt.Printf("recursions:           unavailable (%v)\n", a.RecursionErr)
+	} else {
+		fmt.Printf("recursions:           %d\n", len(a.Recursions))
+		for _, c := range a.Recursions {
 			fmt.Printf("  C(%d): modules %v, edges %v\n", c.Index, c.Modules, c.Edges)
 		}
 	}
 
-	res, err := safety.Check(spec)
-	if err != nil {
-		fmt.Printf("safe (Def. 13):       no\n  %v\n", err)
+	if !a.Safe() {
+		fmt.Printf("safe (Def. 13):       no\n  %v\n", a.SafetyErr)
 		fmt.Println("\nNo dynamic labeling scheme exists for this specification (Theorem 1).")
 		os.Exit(1)
 	}
@@ -129,31 +121,28 @@ func main() {
 
 	if *verbose {
 		fmt.Println("\nfull dependency assignment λ* (Lemma 1):")
-		names := make([]string, 0, len(res.Full))
-		for name := range res.Full {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("  λ*(%s) = %v\n", name, res.Full[name])
+		for _, name := range spec.Modules() {
+			if deps, ok := a.FullDeps[name]; ok {
+				fmt.Printf("  λ*(%s) = %v\n", name, deps)
+			}
 		}
 		fmt.Println("\nproduction graph edges (k,i):")
-		for _, e := range pg.Edges() {
-			fmt.Printf("  %v\n", e)
+		for _, e := range a.GraphEdges {
+			fmt.Printf("  %s\n", e)
 		}
 	}
 }
 
-func selectWorkload(name string, params workloads.SyntheticParams) (*workflow.Specification, error) {
+func selectWorkload(name string, params fvl.SyntheticParams) (*fvl.Spec, error) {
 	switch name {
 	case "paper":
-		return workloads.PaperExample(), nil
+		return fvl.PaperExample(), nil
 	case "bioaid":
-		return workloads.BioAID(), nil
+		return fvl.BioAID(), nil
 	case "figure10":
-		return workloads.Figure10Example(), nil
+		return fvl.Figure10(), nil
 	case "synthetic":
-		return workloads.Synthetic(params), nil
+		return fvl.Synthetic(params), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want paper, bioaid, figure10 or synthetic)", name)
 	}

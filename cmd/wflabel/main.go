@@ -1,7 +1,7 @@
 // Command wflabel derives a run of one of the bundled workflows, labels its
 // data items with the view-adaptive scheme, and answers reachability queries
 // over a chosen view — the end-to-end pipeline of the paper from the command
-// line.
+// line, built entirely on the public fvl package.
 //
 // Usage:
 //
@@ -12,20 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/labelstore"
-	"repro/internal/run"
-	"repro/internal/view"
-	"repro/internal/workflow"
-	"repro/internal/workloads"
+	"repro/fvl"
 )
 
 func main() {
@@ -34,70 +29,74 @@ func main() {
 	size := flag.Int("size", 100, "target run size (number of data items)")
 	seed := flag.Int64("seed", 1, "random seed for the derivation")
 	viewSpec := flag.String("view", "default", "view to query: default, security, abstraction (paper workload), or white-box:N / grey-box:N / black-box:N for a random view with N expandable composites")
-	variantName := flag.String("variant", "query-efficient", "view label variant: space-efficient, default, query-efficient")
+	variantName := flag.String("variant", "query-efficient", "view label variant: space-efficient, materialized, query-efficient")
 	query := flag.String("query", "", "comma-separated pair of data item IDs d1,d2: ask whether d2 depends on d1")
 	showLabels := flag.Bool("labels", false, "print every data label")
 	stats := flag.Bool("stats", false, "print label length statistics")
-	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or engine.NewServerFromSnapshot)")
+	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or fvl.OpenSnapshot)")
 	flag.Parse()
+	ctx := context.Background()
 
 	spec, err := selectWorkload(*workload)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *specFile != "" {
-		f, err := os.Open(*specFile)
+		spec, err = fvl.ReadSpecFile(*specFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		spec, err = workflow.ReadSpecification(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("reading %s: %v", *specFile, err)
-		}
 	}
-	scheme, err := core.NewScheme(spec)
+	variant, err := fvl.ParseVariant(*variantName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeler, err := fvl.NewLabeler(spec, fvl.WithVariant(variant))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: *size, Rand: rand.New(rand.NewSource(*seed))})
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: *size, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	labeler, err := scheme.LabelRun(r)
+	labels, err := labeler.Label(ctx, r)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("derived and labeled a run with %d data items (%d module instances, %d derivation steps)\n",
-		r.Size(), len(r.Instances), len(r.Steps))
+		r.Size(), len(r.Instances()), r.Steps())
 
 	v, err := selectView(spec, *viewSpec, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	variant, err := selectVariant(*variantName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vl, err := scheme.LabelView(v, variant)
+	vl, err := labeler.LabelView(v)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("view %q: expandable composites %v, label %d bytes (%s variant)\n",
-		v.Name, v.ExpandableModules(), (vl.SizeBits()+7)/8, variant)
+		v.Name(), v.ExpandableModules(), (vl.SizeBits()+7)/8, vl.Variant())
 
 	if *snapshot != "" {
-		if err := labelstore.SaveFile(*snapshot, scheme, []*core.ViewLabel{vl}); err != nil {
+		f, err := os.Create(*snapshot)
+		if err != nil {
 			log.Fatalf("writing snapshot: %v", err)
 		}
-		fmt.Printf("wrote label snapshot for view %q (%s variant) to %s\n", v.Name, variant, *snapshot)
+		if err := labeler.Snapshot(f); err != nil {
+			f.Close()
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		fmt.Printf("wrote label snapshot for view %q (%s variant) to %s\n", v.Name(), vl.Variant(), *snapshot)
 	}
 
 	if *showLabels {
 		fmt.Println("\ndata labels:")
-		for _, item := range r.Items {
-			l, _ := labeler.Label(item.ID)
+		for _, item := range r.Items() {
+			l, _ := labels.Label(item.ID)
 			visible := ""
 			if !vl.Visible(l) {
 				visible = "   [hidden in this view]"
@@ -107,11 +106,9 @@ func main() {
 	}
 
 	if *stats {
-		codec := scheme.Codec()
 		total, max := 0, 0
-		for _, item := range r.Items {
-			l, _ := labeler.Label(item.ID)
-			bits := codec.SizeBits(l)
+		for _, item := range r.Items() {
+			bits, _ := labels.SizeBits(item.ID)
 			total += bits
 			if bits > max {
 				max = bits
@@ -131,8 +128,8 @@ func main() {
 		if err1 != nil || err2 != nil {
 			log.Fatalf("-query wants numeric data item IDs, got %q", *query)
 		}
-		l1, ok1 := labeler.Label(d1)
-		l2, ok2 := labeler.Label(d2)
+		l1, ok1 := labels.Label(d1)
+		l2, ok2 := labels.Label(d2)
 		if !ok1 || !ok2 {
 			log.Fatalf("the run has no data item %d or %d (items are numbered 1..%d)", d1, d2, r.Size())
 		}
@@ -140,11 +137,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("query failed: %v", err)
 		}
-		fmt.Printf("\ndoes d%d depend on d%d under view %q?  %v\n", d2, d1, v.Name, ans)
+		fmt.Printf("\ndoes d%d depend on d%d under view %q?  %v\n", d2, d1, v.Name(), ans)
 
 		// Cross-check against the ground-truth projection oracle.
-		proj, err := run.Project(r, v)
-		if err == nil {
+		if proj, err := r.Project(v); err == nil {
 			if want, err := proj.DependsOn(d1, d2); err == nil {
 				fmt.Printf("(ground-truth graph search agrees: %v)\n", want)
 			}
@@ -152,32 +148,32 @@ func main() {
 	}
 }
 
-func selectWorkload(name string) (*workflow.Specification, error) {
+func selectWorkload(name string) (*fvl.Spec, error) {
 	switch name {
 	case "paper":
-		return workloads.PaperExample(), nil
+		return fvl.PaperExample(), nil
 	case "bioaid":
-		return workloads.BioAID(), nil
+		return fvl.BioAID(), nil
 	case "figure10":
-		return workloads.Figure10Example(), nil
+		return fvl.Figure10(), nil
 	case "synthetic":
-		return workloads.Synthetic(workloads.DefaultSyntheticParams()), nil
+		return fvl.Synthetic(fvl.DefaultSyntheticParams()), nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
 }
 
-func selectView(spec *workflow.Specification, name string, seed int64) (*view.View, error) {
+func selectView(spec *fvl.Spec, name string, seed int64) (*fvl.View, error) {
 	switch {
 	case name == "default":
-		return view.Default(spec), nil
+		return spec.DefaultView(), nil
 	case name == "security":
-		return workloads.PaperSecurityView(spec)
+		return fvl.SecurityView(spec)
 	case name == "abstraction":
-		return workloads.PaperAbstractionView(spec)
+		return fvl.AbstractionView(spec)
 	default:
 		parts := strings.SplitN(name, ":", 2)
-		mode, err := parseMode(parts[0])
+		mode, err := fvl.ParseDependencyMode(parts[0])
 		if err != nil {
 			return nil, err
 		}
@@ -188,34 +184,8 @@ func selectView(spec *workflow.Specification, name string, seed int64) (*view.Vi
 				return nil, fmt.Errorf("view %q: %v", name, err)
 			}
 		}
-		return workloads.RandomView(spec, workloads.ViewOptions{
-			Name: name, Composites: n, Mode: mode, Rand: rand.New(rand.NewSource(seed + 1000)),
+		return fvl.RandomView(spec, fvl.ViewOptions{
+			Name: name, Composites: n, Mode: mode, Seed: seed + 1000,
 		})
-	}
-}
-
-func parseMode(s string) (workloads.DependencyMode, error) {
-	switch s {
-	case "white-box":
-		return workloads.WhiteBox, nil
-	case "grey-box":
-		return workloads.GreyBox, nil
-	case "black-box":
-		return workloads.BlackBox, nil
-	default:
-		return 0, fmt.Errorf("unknown view kind %q (want default, security, abstraction, white-box[:N], grey-box[:N] or black-box[:N])", s)
-	}
-}
-
-func selectVariant(s string) (core.Variant, error) {
-	switch s {
-	case "space-efficient":
-		return core.VariantSpaceEfficient, nil
-	case "default":
-		return core.VariantDefault, nil
-	case "query-efficient":
-		return core.VariantQueryEfficient, nil
-	default:
-		return 0, fmt.Errorf("unknown variant %q", s)
 	}
 }

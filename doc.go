@@ -6,7 +6,10 @@
 // it is compared against, and the full experiment harness of the paper's
 // evaluation section.
 //
-// The implementation lives under internal/; the runnable entry points are the
-// commands under cmd/ and the programs under examples/. See README.md for an
-// overview and DESIGN.md for the system inventory and experiment index.
+// The public API is the fvl package (repro/fvl), one context-aware façade
+// over labeling, querying, snapshots and serving; the experiment harness is
+// public as repro/fvl/bench. The implementation lives under internal/; the
+// runnable entry points are the commands under cmd/ and the programs under
+// examples/, all of which consume only repro/fvl. See README.md for an
+// overview and DESIGN.md for the system inventory and the façade boundary.
 package repro

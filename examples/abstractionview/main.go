@@ -3,37 +3,23 @@
 // detail is hidden inside composite modules, but the perceived input-output
 // dependencies of the composite modules are the true (induced) ones, so every
 // reachability answer over visible data agrees with the full-detail view.
+// It also shows the batch serving layer: the agreement check runs as one
+// Service.DependsOnBatch call per view instead of a loop of single queries.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/run"
-	"repro/internal/view"
-	"repro/internal/workloads"
+	"repro/fvl"
 )
 
 func main() {
-	spec := workloads.PaperExample()
-	scheme, err := core.NewScheme(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	spec := fvl.PaperExample()
 
-	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 80, Rand: rand.New(rand.NewSource(7))})
-	if err != nil {
-		log.Fatal(err)
-	}
-	labeler, err := scheme.LabelRun(r)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	defaultView := view.Default(spec)
-	abstraction, err := workloads.PaperAbstractionView(spec)
+	abstraction, err := fvl.AbstractionView(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,17 +27,24 @@ func main() {
 	fmt.Printf("abstraction view: expandable modules %v, white-box dependencies: %v\n",
 		abstraction.ExpandableModules(), white)
 
-	defaultLabel, err := scheme.LabelView(defaultView, core.VariantQueryEfficient)
+	// Open a service over both views; it labels them and fronts them with the
+	// concurrent batch query engine.
+	svc, err := fvl.Open(ctx, spec, []*fvl.View{spec.DefaultView(), abstraction})
 	if err != nil {
 		log.Fatal(err)
 	}
-	abstractionLabel, err := scheme.LabelView(abstraction, core.VariantQueryEfficient)
+
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: 80, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := svc.NewLabeler().Label(ctx, r)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// How much detail does the view hide?
-	proj, err := run.Project(r, abstraction)
+	proj, err := r.Project(abstraction)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,28 +52,37 @@ func main() {
 		r.Size(), proj.Size(), len(proj.LeafInstances()))
 
 	// White-box views never change answers on visible data: verify it on every
-	// pair of visible items.
+	// pair of visible items, one batch per view.
 	visible := proj.VisibleItems()
-	agree, queries := 0, 0
+	queries := make([]fvl.Query, 0, len(visible)*len(visible))
 	for _, d1 := range visible {
 		for _, d2 := range visible {
-			l1, _ := labeler.Label(d1)
-			l2, _ := labeler.Label(d2)
-			a, err := defaultLabel.DependsOn(l1, l2)
-			if err != nil {
-				log.Fatal(err)
-			}
-			b, err := abstractionLabel.DependsOn(l1, l2)
-			if err != nil {
-				log.Fatal(err)
-			}
-			queries++
-			if a == b {
-				agree++
-			}
+			l1, _ := labels.Label(d1)
+			l2, _ := labels.Label(d2)
+			queries = append(queries, fvl.Query{From: l1, To: l2})
 		}
 	}
-	fmt.Printf("answers over the abstraction view agree with the full-detail view on %d of %d visible pairs\n", agree, queries)
+	defAnswers, err := svc.DependsOnBatch(ctx, "default", queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	absAnswers, err := svc.DependsOnBatch(ctx, abstraction.Name(), queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	for i := range queries {
+		if defAnswers[i].Err != nil {
+			log.Fatal(defAnswers[i].Err)
+		}
+		if absAnswers[i].Err != nil {
+			log.Fatal(absAnswers[i].Err)
+		}
+		if defAnswers[i].DependsOn == absAnswers[i].DependsOn {
+			agree++
+		}
+	}
+	fmt.Printf("answers over the abstraction view agree with the full-detail view on %d of %d visible pairs\n", agree, len(queries))
 	fmt.Println("\nAbstraction views focus attention (fewer visible items) without distorting")
 	fmt.Println("provenance: because their dependencies are white-box, the view label encodes")
 	fmt.Println("the true induced dependencies of the hidden sub-workflows.")

@@ -6,32 +6,29 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/drl"
-	"repro/internal/run"
-	"repro/internal/view"
-	"repro/internal/workloads"
+	"repro/fvl"
 )
 
 func main() {
-	spec := workloads.BioAID()
-	scheme, err := core.NewScheme(spec)
+	ctx := context.Background()
+	spec := fvl.BioAID()
+	labeler, err := fvl.NewLabeler(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// One execution of the BioAID-like pipeline with a few thousand data items.
-	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 4000, Rand: rand.New(rand.NewSource(1))})
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: 4000, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	labeler, err := scheme.LabelRun(r)
+	labels, err := labeler.Label(ctx, r)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,23 +38,23 @@ func main() {
 	// Five views are defined afterwards: different subsets of composite
 	// modules, different perceived dependencies. The existing data labels are
 	// reused for all of them.
-	rng := rand.New(rand.NewSource(9))
-	modes := []workloads.DependencyMode{workloads.WhiteBox, workloads.GreyBox, workloads.BlackBox, workloads.GreyBox, workloads.BlackBox}
+	modes := []fvl.DependencyMode{fvl.WhiteBox, fvl.GreyBox, fvl.BlackBox, fvl.GreyBox, fvl.BlackBox}
 	sizes := []int{16, 8, 8, 4, 2}
 
 	fmt.Println("view        composites  deps       FVL view label   FVL extra cost   DRL per-view relabeling")
 	var fvlTotal, drlTotal time.Duration
+	sampleSeed := int64(9)
 	for i := range modes {
 		name := fmt.Sprintf("view-%d", i+1)
-		v, err := workloads.RandomView(spec, workloads.ViewOptions{
-			Name: name, Composites: sizes[i], Mode: modes[i], Rand: rng,
+		v, err := fvl.RandomView(spec, fvl.ViewOptions{
+			Name: name, Composites: sizes[i], Mode: modes[i], Seed: sampleSeed + int64(i),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		start = time.Now()
-		vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+		vl, err := labeler.LabelView(v)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +62,7 @@ func main() {
 		fvlTotal += fvlViewTime
 
 		start = time.Now()
-		if _, err := drl.LabelRun(v, r); err != nil {
+		if _, err := fvl.LabelBaseline(v, r); err != nil {
 			log.Fatal(err)
 		}
 		drlViewTime := time.Since(start)
@@ -75,15 +72,15 @@ func main() {
 			name, sizes[i], modes[i], (vl.SizeBits()+7)/8, fvlViewTime.Round(time.Microsecond), drlViewTime.Round(time.Millisecond))
 
 		// Answer a couple of queries over this view with the shared data labels.
-		proj, err := run.Project(r, v)
+		proj, err := r.Project(v)
 		if err != nil {
 			log.Fatal(err)
 		}
 		visible := proj.VisibleItems()
-		d1 := visible[rng.Intn(len(visible))]
-		d2 := visible[rng.Intn(len(visible))]
-		l1, _ := labeler.Label(d1)
-		l2, _ := labeler.Label(d2)
+		d1 := visible[i%len(visible)]
+		d2 := visible[len(visible)-1-i%len(visible)]
+		l1, _ := labels.Label(d1)
+		l2, _ := labels.Label(d2)
 		ans, err := vl.DependsOn(l1, l2)
 		if err != nil {
 			log.Fatal(err)
@@ -97,8 +94,7 @@ func main() {
 		fvlLabelTime.Round(time.Millisecond))
 
 	// Views can also be compared against the default (full-detail) view.
-	def := view.Default(spec)
-	if _, err := scheme.LabelView(def, core.VariantQueryEfficient); err != nil {
+	if _, err := labeler.LabelView(spec.DefaultView()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nAdding, removing or modifying views never touches the data labels (view-adaptive labeling).")

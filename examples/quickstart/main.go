@@ -8,10 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/run"
-	"repro/internal/view"
-	"repro/internal/workflow"
+	"repro/fvl"
 )
 
 func main() {
@@ -22,60 +19,49 @@ func main() {
 	//   S(1 in, 1 out) -> align(1,2) -> Filter(2,1) -> plot(1,1)
 	//   Filter -> step(2,2) -> Filter      (repeat)
 	//   Filter -> last(2,1)                (stop)
-	b := workflow.NewBuilder().
+	//
+	// Fine-grained dependencies: step's outputs each depend on one input
+	// only, and last aggregates both inputs.
+	spec, err := fvl.NewSpec().
 		Module("S", 1, 1).
 		Module("Filter", 2, 1).
 		Module("align", 1, 2).
 		Module("step", 2, 2).
 		Module("last", 2, 1).
 		Module("plot", 1, 1).
-		Start("S")
-
-	root := workflow.NewWorkflow()
-	root.Node("align")
-	root.Node("Filter")
-	root.Node("plot")
-	root.Edge("align", 0, "Filter", 0)
-	root.Edge("align", 1, "Filter", 1)
-	root.Edge("Filter", 0, "plot", 0)
-	b.Production("S", root.Workflow())
-
-	repeat := workflow.NewWorkflow()
-	repeat.Node("step")
-	repeat.Node("Filter")
-	repeat.Edge("step", 0, "Filter", 0)
-	repeat.Edge("step", 1, "Filter", 1)
-	b.Production("Filter", repeat.Workflow())
-
-	stop := workflow.NewWorkflow()
-	stop.Node("last")
-	b.Production("Filter", stop.Workflow())
-
-	// Fine-grained dependencies: align's second output only depends on its
-	// input (trivially), but step's outputs each depend on one input only, and
-	// last aggregates both inputs.
-	b.Deps("align", [2]int{0, 0}, [2]int{0, 1})
-	b.Deps("step", [2]int{0, 0}, [2]int{1, 1})
-	b.Deps("last", [2]int{0, 0}, [2]int{1, 0})
-	b.Deps("plot", [2]int{0, 0})
-
-	spec, err := b.Build()
+		Start("S").
+		Production("S", fvl.NewFlow().
+			Node("align").Node("Filter").Node("plot").
+			Edge("align", 0, "Filter", 0).
+			Edge("align", 1, "Filter", 1).
+			Edge("Filter", 0, "plot", 0)).
+		Production("Filter", fvl.NewFlow().
+			Node("step").Node("Filter").
+			Edge("step", 0, "Filter", 0).
+			Edge("step", 1, "Filter", 1)).
+		Production("Filter", fvl.NewFlow().
+			Node("last")).
+		Deps("align", [2]int{0, 0}, [2]int{0, 1}).
+		Deps("step", [2]int{0, 0}, [2]int{1, 1}).
+		Deps("last", [2]int{0, 0}, [2]int{1, 0}).
+		Deps("plot", [2]int{0, 0}).
+		Build()
 	if err != nil {
 		log.Fatalf("building the specification: %v", err)
 	}
 
 	// The labeling scheme is built once per specification (static
 	// preprocessing of the production graph and its recursions).
-	scheme, err := core.NewScheme(spec)
+	labeler, err := fvl.NewLabeler(spec)
 	if err != nil {
 		log.Fatalf("building the labeling scheme: %v", err)
 	}
 
-	// Derive a run while labeling it online: the labeler is an observer that
-	// assigns each data item its label the moment the item is produced.
-	r := run.New(spec)
-	labeler := scheme.NewRunLabeler()
-	if err := r.AddObserver(labeler); err != nil {
+	// Derive a run while labeling it online: the attached labeler assigns
+	// each data item its label the moment the item is produced.
+	r := spec.NewRun()
+	labels, err := labeler.Attach(r)
+	if err != nil {
 		log.Fatal(err)
 	}
 	// Expand S, then loop the filter twice before stopping.
@@ -88,30 +74,30 @@ func main() {
 	mustApply(r, filter, 3) // Filter -> last
 
 	fmt.Printf("run derived: %d module instances, %d data items, complete=%v\n",
-		len(r.Instances), r.Size(), r.IsComplete())
+		len(r.Instances()), r.Size(), r.IsComplete())
 
 	// Label the default view (the view that exposes everything).
-	defaultView := view.Default(spec)
-	viewLabel, err := scheme.LabelView(defaultView, core.VariantQueryEfficient)
+	viewLabel, err := labeler.LabelView(spec.DefaultView())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Print every data label, then answer a few queries using only labels.
 	fmt.Println("\ndata labels (φr):")
-	for _, item := range r.Items {
-		l, _ := labeler.Label(item.ID)
-		buf, bits := scheme.Codec().Encode(l)
+	items := r.Items()
+	for _, item := range items {
+		l, _ := labels.Label(item.ID)
+		buf, bits, _ := labels.Encode(item.ID)
 		fmt.Printf("  d%-2d %-55s (%d bits, %d bytes encoded)\n", item.ID, l, bits, len(buf))
 	}
 
 	fmt.Println("\nreachability queries over the default view (π):")
-	input := r.Items[0].ID                     // the run's initial input
-	output := finalOutputOf(r)                 // the run's final output
-	intermediate := r.Items[len(r.Items)-1].ID // the last intermediate item created
+	input := items[0].ID                   // the run's initial input
+	output := finalOutputOf(items)         // the run's final output
+	intermediate := items[len(items)-1].ID // the last intermediate item created
 	for _, q := range [][2]int{{input, output}, {input, intermediate}, {intermediate, input}, {output, input}} {
-		l1, _ := labeler.Label(q[0])
-		l2, _ := labeler.Label(q[1])
+		l1, _ := labels.Label(q[0])
+		l2, _ := labels.Label(q[1])
 		ans, err := viewLabel.DependsOn(l1, l2)
 		if err != nil {
 			log.Fatal(err)
@@ -120,14 +106,14 @@ func main() {
 	}
 }
 
-func mustApply(r *run.Run, instance, production int) {
-	if _, err := r.Apply(instance, production); err != nil {
+func mustApply(r *fvl.Run, instance, production int) {
+	if err := r.Apply(instance, production); err != nil {
 		log.Fatalf("applying production %d to instance %d: %v", production, instance, err)
 	}
 }
 
-func instanceOf(r *run.Run, module string) int {
-	for _, inst := range r.Instances {
+func instanceOf(r *fvl.Run, module string) int {
+	for _, inst := range r.Instances() {
 		if inst.Module == module {
 			return inst.ID
 		}
@@ -136,10 +122,10 @@ func instanceOf(r *run.Run, module string) int {
 	return -1
 }
 
-func unexpandedInstanceOf(r *run.Run, module string) int {
+func unexpandedInstanceOf(r *fvl.Run, module string) int {
+	instances := r.Instances()
 	for _, id := range r.Frontier() {
-		inst, _ := r.Instance(id)
-		if inst.Module == module {
+		if instances[id].Module == module {
 			return id
 		}
 	}
@@ -147,9 +133,9 @@ func unexpandedInstanceOf(r *run.Run, module string) int {
 	return -1
 }
 
-func finalOutputOf(r *run.Run) int {
-	for _, item := range r.Items {
-		if item.Src >= 0 && item.Dst < 0 {
+func finalOutputOf(items []fvl.Item) int {
+	for _, item := range items {
+		if item.Producer >= 0 && item.Consumer < 0 {
 			return item.ID
 		}
 	}

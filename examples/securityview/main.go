@@ -6,30 +6,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/run"
-	"repro/internal/view"
-	"repro/internal/workloads"
+	"repro/fvl"
 )
 
 func main() {
-	spec := workloads.PaperExample()
-	scheme, err := core.NewScheme(spec)
+	spec := fvl.PaperExample()
+	labeler, err := fvl.NewLabeler(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Derive a run of the running example (Figure 3 in spirit) and label it
 	// once — the labels below are reused by every view.
-	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 60, Rand: rand.New(rand.NewSource(2))})
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: 60, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	labeler, err := scheme.LabelRun(r)
+	labels, err := labeler.Label(context.Background(), r)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,8 +34,7 @@ func main() {
 
 	// The default view exposes everything; the security view of Example 7
 	// keeps only S, A and B expandable and declares C a black box.
-	defaultView := view.Default(spec)
-	securityView, err := workloads.PaperSecurityView(spec)
+	securityView, err := fvl.SecurityView(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,11 +42,11 @@ func main() {
 	fmt.Printf("security view: expandable modules %v, grey-box dependencies: %v\n",
 		securityView.ExpandableModules(), grey)
 
-	defaultLabel, err := scheme.LabelView(defaultView, core.VariantQueryEfficient)
+	defaultLabel, err := labeler.LabelView(spec.DefaultView())
 	if err != nil {
 		log.Fatal(err)
 	}
-	securityLabel, err := scheme.LabelView(securityView, core.VariantQueryEfficient)
+	securityLabel, err := labeler.LabelView(securityView)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,8 +56,8 @@ func main() {
 	dIn, dOut := boundaryItemsOfC(r)
 	fmt.Printf("\nquery: does the output item d%d of a C instance depend on its input item d%d?\n", dOut, dIn)
 
-	lIn, _ := labeler.Label(dIn)
-	lOut, _ := labeler.Label(dOut)
+	lIn, _ := labels.Label(dIn)
+	lOut, _ := labels.Label(dOut)
 
 	defAns, err := defaultLabel.DependsOn(lIn, lOut)
 	if err != nil {
@@ -81,8 +77,8 @@ func main() {
 	// The security view also hides the data items inside C instances: their
 	// labels fail the visibility check.
 	hidden := 0
-	for _, item := range r.Items {
-		l, _ := labeler.Label(item.ID)
+	for _, item := range r.Items() {
+		l, _ := labels.Label(item.ID)
 		if !securityLabel.Visible(l) {
 			hidden++
 		}
@@ -93,17 +89,18 @@ func main() {
 // boundaryItemsOfC returns the IDs of a data item consumed by input port 1 of
 // some C instance and a data item produced by output port 0 of the same
 // instance; the run of the paper's example always contains such an instance.
-func boundaryItemsOfC(r *run.Run) (dIn, dOut int) {
-	for _, inst := range r.Instances {
+func boundaryItemsOfC(r *fvl.Run) (dIn, dOut int) {
+	items := r.Items()
+	for _, inst := range r.Instances() {
 		if inst.Module != "C" || len(inst.Inputs) < 2 || len(inst.Outputs) < 1 {
 			continue
 		}
 		dIn, dOut = 0, 0
-		for _, item := range r.Items {
-			if item.Dst == inst.Inputs[1] {
+		for _, item := range items {
+			if item.Consumer == inst.Inputs[1] {
 				dIn = item.ID
 			}
-			if item.Src == inst.Outputs[0] {
+			if item.Producer == inst.Outputs[0] {
 				dOut = item.ID
 			}
 		}

@@ -1,0 +1,122 @@
+package fvl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prodgraph"
+	"repro/internal/safety"
+)
+
+// Recursion describes one vertex-disjoint cycle of the production graph —
+// one linear recursion of the workflow.
+type Recursion struct {
+	// Index is the cycle's 1-based position in the scheme's fixed
+	// enumeration.
+	Index int
+	// Modules are the composite modules on the cycle, in cycle order.
+	Modules []string
+	// Edges renders the production-graph edges (k, i) of the cycle.
+	Edges []string
+}
+
+// Analysis is the result of every static check the paper defines on a
+// specification: structural validity, properness (Definition 5), the
+// coarse-grained test (Definition 8), linear and strict linear recursion
+// (Section 3.2), safety and the full dependency assignment λ* (Section 3.1),
+// and the production-graph cycle enumeration of the labeling scheme
+// (Section 4.1).
+type Analysis struct {
+	Start           string
+	ModuleCount     int
+	CompositeCount  int
+	AtomicCount     int
+	ProductionCount int
+
+	// ValidErr is nil when the grammar is structurally valid.
+	ValidErr error
+	// ProperErr is nil when the grammar is proper (Definition 5).
+	ProperErr error
+	// CoarseGrained reports Definition 8.
+	CoarseGrained bool
+
+	// LinearRecursive and StrictlyLinearRecursive report Section 3.2's
+	// recursion classes; compact labels require the strict form (Theorem 8).
+	LinearRecursive         bool
+	StrictlyLinearRecursive bool
+	Recursions              []Recursion
+	// RecursionErr is non-nil when the cycle enumeration is impossible
+	// (grammars that are not strictly linear-recursive); it distinguishes
+	// "no recursions" from "enumeration failed".
+	RecursionErr error
+
+	// SafetyErr is nil when the specification is safe (Definition 13); an
+	// unsafe specification admits no dynamic labeling scheme (Theorem 1).
+	SafetyErr error
+
+	// FullDeps renders the full dependency assignment λ* (Lemma 1) per
+	// module; empty when the specification is unsafe.
+	FullDeps map[string]string
+	// GraphEdges renders every production-graph edge (k, i).
+	GraphEdges []string
+}
+
+// Valid reports structural validity.
+func (a *Analysis) Valid() bool { return a.ValidErr == nil }
+
+// Proper reports properness (Definition 5).
+func (a *Analysis) Proper() bool { return a.ProperErr == nil }
+
+// Safe reports safety (Definition 13).
+func (a *Analysis) Safe() bool { return a.SafetyErr == nil }
+
+// Analyze runs every static analysis on the specification and returns the
+// combined report. It never fails: problems are recorded in the report's
+// error fields.
+func (s *Spec) Analyze() *Analysis {
+	g := s.spec.Grammar
+	a := &Analysis{
+		Start:           g.Start,
+		ModuleCount:     len(g.Modules),
+		CompositeCount:  len(g.Composites()),
+		AtomicCount:     len(g.Atomics()),
+		ProductionCount: len(g.Productions),
+		ValidErr:        g.Validate(),
+		ProperErr:       g.CheckProper(),
+		CoarseGrained:   s.spec.IsCoarseGrained(),
+	}
+	if a.ValidErr != nil {
+		return a
+	}
+
+	pg := prodgraph.New(g)
+	a.LinearRecursive = pg.IsLinearRecursive()
+	a.StrictlyLinearRecursive = pg.IsStrictlyLinearRecursive()
+	cycles, err := pg.Cycles()
+	a.RecursionErr = err
+	for _, c := range cycles {
+		rec := Recursion{Index: c.Index, Modules: append([]string(nil), c.Modules...)}
+		for _, e := range c.Edges {
+			rec.Edges = append(rec.Edges, fmt.Sprintf("%v", e))
+		}
+		a.Recursions = append(a.Recursions, rec)
+	}
+	for _, e := range pg.Edges() {
+		a.GraphEdges = append(a.GraphEdges, fmt.Sprintf("%v", e))
+	}
+
+	res, err := safety.Check(s.spec)
+	a.SafetyErr = err
+	if err == nil {
+		a.FullDeps = map[string]string{}
+		names := make([]string, 0, len(res.Full))
+		for name := range res.Full {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a.FullDeps[name] = fmt.Sprintf("%v", res.Full[name])
+		}
+	}
+	return a
+}

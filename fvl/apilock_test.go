@@ -1,0 +1,47 @@
+package fvl_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicProgramsDoNotImportInternal is the API lock of the façade: the
+// commands and examples are the proof that repro/fvl is complete, so none of
+// them may reach into repro/internal. A failure here means the public
+// surface regressed — extend fvl instead of punching through it.
+func TestPublicProgramsDoNotImportInternal(t *testing.T) {
+	for _, dir := range []string{"../cmd", "../examples"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Errorf("parsing %s: %v", path, err)
+				return nil
+			}
+			for _, imp := range f.Imports {
+				val, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if val == "repro/internal" || strings.HasPrefix(val, "repro/internal/") {
+					t.Errorf("%s imports %s; cmd/ and examples/ must only use the public repro/fvl API", path, val)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+}

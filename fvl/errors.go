@@ -1,0 +1,48 @@
+package fvl
+
+import "repro/internal/faults"
+
+// The error taxonomy of the façade. Every failure the library reports wraps
+// one of these sentinels when it falls into the corresponding class, so
+// callers classify errors with errors.Is instead of string-matching:
+//
+//	results, err := svc.DependsOnBatch(ctx, "security", queries)
+//	switch {
+//	case errors.Is(err, fvl.ErrUnknownView):
+//	    // the service has no label for that view name
+//	case errors.Is(err, fvl.ErrCanceled):
+//	    // the context was canceled; partial results may be present
+//	}
+//
+// The values are shared with the internal packages (they wrap the same
+// sentinels at the point of detection), so errors.Is works no matter how
+// many layers of context the error picked up on the way out.
+var (
+	// ErrCanceled: an operation observed context cancellation and stopped
+	// early — a batch query between claim blocks, a multi-view labeling
+	// between views, a run labeling between derivation steps.
+	ErrCanceled = faults.ErrCanceled
+
+	// ErrUnknownView: a query named a view the service has no label for.
+	ErrUnknownView = faults.ErrUnknownView
+
+	// ErrForeignLabel: a run, view or label belongs to a different
+	// specification than the one it is being combined with.
+	ErrForeignLabel = faults.ErrForeignLabel
+
+	// ErrCorruptSnapshot: a label snapshot failed validation (bad magic,
+	// checksum mismatch, truncation, or any structural check on load).
+	ErrCorruptSnapshot = faults.ErrCorruptSnapshot
+
+	// ErrUnsafeView: the view admits no labeling because it is unsafe
+	// (Definition 13 of the paper applied to the view specification).
+	ErrUnsafeView = faults.ErrUnsafeView
+
+	// ErrNotLinearRecursive: the grammar is not strictly linear-recursive,
+	// so the compact labeling scheme does not apply (Theorem 6). The basic
+	// Theorem-1 scheme remains available via WithBasicScheme.
+	ErrNotLinearRecursive = faults.ErrNotLinearRecursive
+
+	// ErrHiddenItem: a query involved a data item the view hides.
+	ErrHiddenItem = faults.ErrHiddenItem
+)

@@ -1,0 +1,128 @@
+package fvl_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/fvl"
+)
+
+// tinySpec builds the quickstart pipeline: S expands into align -> Filter ->
+// plot, and Filter either repeats a step or stops.
+func tinySpec() *fvl.Spec {
+	spec, err := fvl.NewSpec().
+		Module("S", 1, 1).
+		Module("Filter", 2, 1).
+		Module("align", 1, 2).
+		Module("step", 2, 2).
+		Module("last", 2, 1).
+		Module("plot", 1, 1).
+		Start("S").
+		Production("S", fvl.NewFlow().
+			Node("align").Node("Filter").Node("plot").
+			Edge("align", 0, "Filter", 0).
+			Edge("align", 1, "Filter", 1).
+			Edge("Filter", 0, "plot", 0)).
+		Production("Filter", fvl.NewFlow().
+			Node("step").Node("Filter").
+			Edge("step", 0, "Filter", 0).
+			Edge("step", 1, "Filter", 1)).
+		Production("Filter", fvl.NewFlow().Node("last")).
+		Deps("align", [2]int{0, 0}, [2]int{0, 1}).
+		Deps("step", [2]int{0, 0}, [2]int{1, 1}).
+		Deps("last", [2]int{0, 0}, [2]int{1, 0}).
+		Deps("plot", [2]int{0, 0}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec
+}
+
+// ExampleOpen labels one view of a specification and serves a reachability
+// query through the resulting service.
+func ExampleOpen() {
+	spec := tinySpec()
+	svc, err := fvl.Open(context.Background(), spec, []*fvl.View{spec.DefaultView()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: 12, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := svc.NewLabeler().Label(context.Background(), r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	items := r.Items()
+	first, _ := labels.Label(items[0].ID)
+	last, _ := labels.Label(items[len(items)-1].ID)
+	ans, err := svc.DependsOn(context.Background(), "default", first, last)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("views: %v\n", svc.Views())
+	fmt.Printf("depends: %v\n", ans)
+	// Output:
+	// views: [default]
+	// depends: true
+}
+
+// ExampleLabeler_Label labels a derived run and prints one data label.
+func ExampleLabeler_Label() {
+	spec := tinySpec()
+	labeler, err := fvl.NewLabeler(spec, fvl.WithVariant(fvl.QueryEfficient))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := spec.NewRun()
+	if err := r.Apply(0, 1); err != nil { // S -> align, Filter, plot
+		log.Fatal(err)
+	}
+	labels, err := labeler.Label(context.Background(), r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, _ := labels.Label(1)
+	fmt.Printf("%d items labeled; φr(d1) = %s\n", labels.Count(), l)
+	// Output:
+	// 5 items labeled; φr(d1) = (-, {0})
+}
+
+// ExampleService_DependsOnBatch answers a batch of queries in one call.
+func ExampleService_DependsOnBatch() {
+	spec := tinySpec()
+	svc, err := fvl.Open(context.Background(), spec, []*fvl.View{spec.DefaultView()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: 12, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := svc.NewLabeler().Label(context.Background(), r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	items := r.Items()
+	first, _ := labels.Label(items[0].ID)
+	last, _ := labels.Label(items[len(items)-1].ID)
+	results, err := svc.DependsOnBatch(context.Background(), "default", []fvl.Query{
+		{From: first, To: last},
+		{From: last, To: first},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("query %d: %v\n", i, res.DependsOn)
+	}
+	// Output:
+	// query 0: true
+	// query 1: false
+}

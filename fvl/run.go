@@ -1,0 +1,124 @@
+package fvl
+
+import (
+	"repro/internal/run"
+)
+
+// Run is a (possibly partial) workflow run: a derivation that starts from
+// the unexpanded start module and grows by applying productions to composite
+// module instances. Labelers attach to a run (Labeler.Attach) to label data
+// items online, the moment they are produced.
+type Run struct {
+	r    *run.Run
+	spec *Spec
+}
+
+// NewRun creates a run consisting of the unexpanded start module with one
+// data item per external input and output.
+func (s *Spec) NewRun() *Run {
+	return &Run{r: run.New(s.spec), spec: s}
+}
+
+// Spec returns the specification the run derives from.
+func (r *Run) Spec() *Spec { return r.spec }
+
+// Apply expands the composite module instance with the 1-based production
+// index, creating child instances and fresh data items and notifying any
+// attached labelers.
+func (r *Run) Apply(instanceID, production int) error {
+	_, err := r.r.Apply(instanceID, production)
+	return err
+}
+
+// Size returns the number of data items, the size measure of the paper.
+func (r *Run) Size() int { return r.r.Size() }
+
+// IsComplete reports whether every composite instance has been expanded.
+func (r *Run) IsComplete() bool { return r.r.IsComplete() }
+
+// Steps returns the number of derivation steps applied so far.
+func (r *Run) Steps() int { return len(r.r.Steps) }
+
+// Frontier returns the IDs of the unexpanded composite module instances.
+func (r *Run) Frontier() []int { return r.r.Frontier() }
+
+// Item describes one data item of the run. Producer and Consumer are port
+// instance IDs; initial inputs have Producer == -1, final outputs have
+// Consumer == -1.
+type Item struct {
+	ID       int
+	Producer int
+	Consumer int
+	Step     int
+}
+
+// Items returns a snapshot of the run's data items, ordered by ID.
+func (r *Run) Items() []Item {
+	out := make([]Item, len(r.r.Items))
+	for i, it := range r.r.Items {
+		out[i] = Item{ID: it.ID, Producer: it.Src, Consumer: it.Dst, Step: it.Step}
+	}
+	return out
+}
+
+// Instance describes one module instance of the run. Inputs and Outputs are
+// the port instance IDs bound to the module's ports; Expanded reports
+// whether a production has been applied to the instance.
+type Instance struct {
+	ID       int
+	Module   string
+	Parent   int
+	Expanded bool
+	Inputs   []int
+	Outputs  []int
+}
+
+// Instances returns a snapshot of the run's module instances, ordered by ID.
+func (r *Run) Instances() []Instance {
+	out := make([]Instance, len(r.r.Instances))
+	for i, inst := range r.r.Instances {
+		out[i] = Instance{
+			ID:       inst.ID,
+			Module:   inst.Module,
+			Parent:   inst.Parent,
+			Expanded: inst.Prod != 0,
+			Inputs:   append([]int(nil), inst.Inputs...),
+			Outputs:  append([]int(nil), inst.Outputs...),
+		}
+	}
+	return out
+}
+
+// Project materializes the view of the run: the ground-truth projection used
+// as an oracle and a naive (graph-search) baseline for reachability answers.
+func (r *Run) Project(v *View) (*Projection, error) {
+	p, err := run.Project(r.r, v.v)
+	if err != nil {
+		return nil, err
+	}
+	return &Projection{p: p}, nil
+}
+
+// Projection is the view of a run: the subgraph of data items visible under
+// the view, with a graph-search reachability oracle.
+type Projection struct {
+	p *run.Projection
+}
+
+// Size returns the number of visible data items.
+func (p *Projection) Size() int { return p.p.Size() }
+
+// VisibleItems returns the IDs of the visible data items, in increasing
+// order.
+func (p *Projection) VisibleItems() []int { return p.p.VisibleItems() }
+
+// VisibleItem reports whether the data item is visible under the view.
+func (p *Projection) VisibleItem(id int) bool { return p.p.VisibleItem(id) }
+
+// LeafInstances returns the IDs of the module instances that are leaves of
+// the projected run (the instances the view actually shows).
+func (p *Projection) LeafInstances() []int { return p.p.LeafInstances() }
+
+// DependsOn answers a reachability query by graph search over the
+// projection — the ground truth the labels are checked against.
+func (p *Projection) DependsOn(d1, d2 int) (bool, error) { return p.p.DependsOn(d1, d2) }

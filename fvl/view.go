@@ -1,0 +1,134 @@
+package fvl
+
+import (
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/view"
+	"repro/internal/workflow"
+)
+
+// View is a workflow view U = (∆′, λ′) over a specification (Definition 9):
+// a subset ∆′ of composite modules that remain expandable, plus perceived
+// dependencies λ′ for the modules that are atomic under the view. Views are
+// static, independent of any run, and validated at construction.
+type View struct {
+	v *view.View
+}
+
+// DefaultView returns the view that exposes everything: every composite
+// module stays expandable and the original fine-grained dependencies apply.
+func (s *Spec) DefaultView() *View {
+	return &View{v: view.Default(s.spec)}
+}
+
+// Name returns the view's identifier.
+func (v *View) Name() string { return v.v.Name }
+
+// ExpandableModules returns ∆′ in sorted order.
+func (v *View) ExpandableModules() []string { return v.v.ExpandableModules() }
+
+// IsSafe reports whether the view admits a labeling (Definition 13 applied
+// to the view specification).
+func (v *View) IsSafe() bool { return v.v.IsSafe() }
+
+// SafetyError returns the safety analysis failure, or nil for safe views.
+func (v *View) SafetyError() error { return v.v.SafetyError() }
+
+// IsWhiteBox reports whether the view's perceived dependencies are exactly
+// the true induced ones (abstraction views, Remark 1).
+func (v *View) IsWhiteBox() (bool, error) { return v.v.IsWhiteBox() }
+
+// IsGreyBox reports whether the view distorts some dependencies
+// (security views).
+func (v *View) IsGreyBox() (bool, error) { return v.v.IsGreyBox() }
+
+// ViewBuilder assembles a custom view over a specification. Like the other
+// builders of the package it accumulates errors and reports them at Build.
+type ViewBuilder struct {
+	spec    *Spec
+	name    string
+	include []string
+	deps    workflow.DependencyAssignment
+	errs    []error
+}
+
+// NewView starts building a named view over the specification.
+func (s *Spec) NewView(name string) *ViewBuilder {
+	return &ViewBuilder{spec: s, name: name, deps: workflow.DependencyAssignment{}}
+}
+
+// Expand adds composite modules to ∆′, keeping them expandable in the view.
+func (vb *ViewBuilder) Expand(modules ...string) *ViewBuilder {
+	vb.include = append(vb.include, modules...)
+	return vb
+}
+
+// Deps declares the perceived dependencies λ′ of a view-atomic module as
+// explicit (input port, output port) pairs, 0-based.
+func (vb *ViewBuilder) Deps(module string, pairs ...[2]int) *ViewBuilder {
+	m, ok := vb.spec.spec.Grammar.Module(module)
+	if !ok {
+		vb.errs = append(vb.errs, fmt.Errorf("dependencies for unknown module %q", module))
+		return vb
+	}
+	mat := boolmat.New(m.In, m.Out)
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= m.In || p[1] < 0 || p[1] >= m.Out {
+			vb.errs = append(vb.errs, fmt.Errorf("dependency (%d,%d) out of range for module %q", p[0], p[1], module))
+			continue
+		}
+		mat.Set(p[0], p[1], true)
+	}
+	vb.deps[module] = mat
+	return vb
+}
+
+// BlackBox gives the listed view-atomic modules complete dependencies
+// (every output depends on every input) — the grey-box hiding used by
+// security views.
+func (vb *ViewBuilder) BlackBox(modules ...string) *ViewBuilder {
+	for _, name := range modules {
+		m, ok := vb.spec.spec.Grammar.Module(name)
+		if !ok {
+			vb.errs = append(vb.errs, fmt.Errorf("black-box assignment for unknown module %q", name))
+			continue
+		}
+		vb.deps[name] = workflow.CompleteDeps(m)
+	}
+	return vb
+}
+
+// TrueDeps gives the listed view-atomic modules their true induced
+// dependencies λ* under the full specification — the white-box assignment
+// used by abstraction views.
+func (vb *ViewBuilder) TrueDeps(modules ...string) *ViewBuilder {
+	full, err := view.Default(vb.spec.spec).FullAssignment()
+	if err != nil {
+		vb.errs = append(vb.errs, fmt.Errorf("true dependencies unavailable: %w", err))
+		return vb
+	}
+	for _, name := range modules {
+		m, ok := full[name]
+		if !ok {
+			vb.errs = append(vb.errs, fmt.Errorf("no induced dependencies for module %q", name))
+			continue
+		}
+		vb.deps[name] = m.Clone()
+	}
+	return vb
+}
+
+// Build validates the view: ∆′ must be composite modules forming a proper
+// restricted grammar, and λ′ must cover every view-atomic module reachable
+// in the view with well-formed matrices.
+func (vb *ViewBuilder) Build() (*View, error) {
+	if len(vb.errs) > 0 {
+		return nil, fmt.Errorf("fvl: view %q: %w", vb.name, vb.errs[0])
+	}
+	v, err := view.New(vb.name, vb.spec.spec, vb.include, vb.deps)
+	if err != nil {
+		return nil, err
+	}
+	return &View{v: v}, nil
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drl"
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+// Record is one machine-readable benchmark result, the row format of the
+// BENCH_*.json perf trajectory: an experiment name plus the standard
+// testing.B metrics.
+type Record struct {
+	Experiment  string  `json:"experiment"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// record runs one benchmark function under testing.Benchmark and captures
+// its metrics. Allocation accounting is always on.
+func record(name string, fn func(b *testing.B)) Record {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return Record{
+		Experiment:  name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(max(res.N, 1)),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+	}
+}
+
+// Records measures the system's representative hot paths — run labeling
+// (FVL and the DRL baseline), one query per view-label variant plus the
+// matrix-free decoder, view labeling, batch serving, and snapshot save/load
+// — and returns one Record per path. The cfg controls workload scale the
+// same way it does for the printable experiments; use QuickConfig for smoke
+// runs.
+func Records(cfg Config) ([]Record, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.MultiViewRunSize
+	r, labeler, _, err := labeledBioAIDRun(scheme, size, cfg.Seed+7100)
+	if err != nil {
+		return nil, err
+	}
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "bench-json", Composites: 8, Mode: workloads.GreyBox, Rand: newRand(cfg.Seed + 7200),
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := cfg.Queries
+	if queries > 4096 {
+		queries = 4096
+	}
+	pairs, err := visibleLabelPairs(labeler, r, v, queries, cfg.Seed+7300)
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name    string
+		variant core.Variant
+	}{
+		{"query/space-efficient", core.VariantSpaceEfficient},
+		{"query/materialized", core.VariantDefault},
+		{"query/query-efficient", core.VariantQueryEfficient},
+	}
+	var out []Record
+
+	out = append(out, record(fmt.Sprintf("label-run/fvl/%d", size), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheme.LabelRun(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	out = append(out, record(fmt.Sprintf("label-run/drl/%d", size), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drl.LabelRun(v, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	out = append(out, record("label-view/query-efficient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheme.LabelView(v, core.VariantQueryEfficient); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	for _, vr := range variants {
+		vl, err := scheme.LabelView(v, vr.variant)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, record(vr.name, func(b *testing.B) {
+			s := core.NewQuerySession()
+			defer s.Close()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if _, err := s.DependsOn(vl, p[0], p[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	vlq, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return nil, err
+	}
+	mf := vlq.WithMatrixFree()
+	out = append(out, record("query/matrix-free", func(b *testing.B) {
+		s := core.NewQuerySession()
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if _, err := s.DependsOn(mf, p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	eng := engine.New(cfg.Workers)
+	batch := make([]engine.Query, len(pairs))
+	for i, p := range pairs {
+		batch[i] = engine.Query{D1: p[0], D2: p[1]}
+	}
+	out = append(out, record(fmt.Sprintf("engine/batch-%d/workers-%d", len(batch), eng.Workers()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			results := eng.DependsOnBatch(vlq, batch)
+			for j := range results {
+				if results[j].Err != nil {
+					b.Fatal(results[j].Err)
+				}
+			}
+		}
+	}))
+
+	return out, nil
+}
+
+// WriteRecords writes the records as indented JSON, the on-disk format of
+// the BENCH_*.json trajectory files.
+func WriteRecords(w io.Writer, records []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

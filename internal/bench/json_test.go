@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRecordsProduceSaneMetrics smoke-tests the machine-readable benchmark
+// mode at a very small scale: every record must carry a positive ns/op and
+// round-trip through the JSON writer.
+func TestRecordsProduceSaneMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark records take seconds; skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.MultiViewRunSize = 400
+	cfg.Queries = 64
+	records, err := Records(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 6 {
+		t.Fatalf("got %d records, want at least the core hot paths", len(records))
+	}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.Experiment == "" || seen[r.Experiment] {
+			t.Fatalf("record has empty or duplicate experiment name: %+v", r)
+		}
+		seen[r.Experiment] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Fatalf("record %q has non-positive metrics: %+v", r.Experiment, r)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+			t.Fatalf("record %q has negative alloc metrics: %+v", r.Experiment, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("written JSON does not parse: %v", err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round-trip lost records: %d -> %d", len(records), len(back))
+	}
+}

@@ -339,10 +339,10 @@ func rawNonCanonicalSharedPrefix(t *testing.T) struct {
 		push(v, n+1)
 	}
 	suffix := func() {
-		gamma(2)        // path length 1 (+1 encoding)
+		gamma(2)               // path length 1 (+1 encoding)
 		bits = append(bits, 0) // non-recursive edge
-		push(1, 4)      // k = 1 (kBits = 4 for the paper example)
-		gamma(1)        // i = 1
+		push(1, 4)             // k = 1 (kBits = 4 for the paper example)
+		gamma(1)               // i = 1
 	}
 	push(3, 2) // kind 3: intermediate
 	gamma(1)   // shared path: empty

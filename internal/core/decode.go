@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/boolmat"
+	"repro/internal/faults"
 	"repro/internal/workflow"
 )
 
@@ -139,10 +140,10 @@ func (vl *ViewLabel) dependsOn(qc *queryCtx, d1, d2 *DataLabel) (bool, error) {
 		return false, fmt.Errorf("core: nil data label")
 	}
 	if !vl.Visible(d1) {
-		return false, fmt.Errorf("core: the first data item is not visible in view %q", vl.view.Name)
+		return false, fmt.Errorf("core: the first data item is not visible in view %q: %w", vl.view.Name, faults.ErrHiddenItem)
 	}
 	if !vl.Visible(d2) {
-		return false, fmt.Errorf("core: the second data item is not visible in view %q", vl.view.Name)
+		return false, fmt.Errorf("core: the second data item is not visible in view %q: %w", vl.view.Name, faults.ErrHiddenItem)
 	}
 
 	// Case I: a final output has no dependents; nothing depends on less than

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/run"
 	"repro/internal/workflow"
 )
@@ -56,7 +58,7 @@ func (l *RunLabeler) Count() int { return len(l.labels) }
 // first child.
 func (l *RunLabeler) OnInit(r *run.Run) error {
 	if r.Spec != l.scheme.Spec {
-		return fmt.Errorf("core: run was derived from a different specification")
+		return fmt.Errorf("core: run was derived from a different specification: %w", faults.ErrForeignLabel)
 	}
 	start := l.scheme.Spec.Grammar.Start
 	var path []EdgeLabel
@@ -154,11 +156,25 @@ func appendEdge(path []EdgeLabel, e EdgeLabel) []EdgeLabel {
 // order). The labels produced are identical to those an online labeler
 // attached before derivation would have produced.
 func (s *Scheme) LabelRun(r *run.Run) (*RunLabeler, error) {
+	return s.LabelRunContext(context.Background(), r)
+}
+
+// LabelRunContext is LabelRun with cancellation: the context is observed
+// every 256 derivation steps, so canceling it aborts the replay with an
+// error wrapping faults.ErrCanceled. This is the single replay
+// implementation — every caller that replays a derivation goes through it,
+// keeping the "OnInit, then every step in order" discipline in one place.
+func (s *Scheme) LabelRunContext(ctx context.Context, r *run.Run) (*RunLabeler, error) {
 	l := s.NewRunLabeler()
 	if err := l.OnInit(r); err != nil {
 		return nil, err
 	}
 	for i := range r.Steps {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: run labeling canceled at step %d of %d: %w (%v)", i, len(r.Steps), faults.ErrCanceled, err)
+			}
+		}
 		if err := l.OnStep(r, &r.Steps[i]); err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/prodgraph"
 	"repro/internal/workflow"
 )
@@ -36,7 +37,7 @@ func NewScheme(spec *workflow.Specification) (*Scheme, error) {
 	}
 	pg := prodgraph.New(spec.Grammar)
 	if !pg.IsStrictlyLinearRecursive() {
-		return nil, fmt.Errorf("core: the grammar is not strictly linear-recursive; compact dynamic labeling is not possible (Theorem 6)")
+		return nil, fmt.Errorf("core: compact dynamic labeling is not possible (Theorem 6): %w", faults.ErrNotLinearRecursive)
 	}
 	cycles, err := pg.Cycles()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/boolmat"
+	"repro/internal/faults"
 	"repro/internal/prodgraph"
 	"repro/internal/safety"
 	"repro/internal/view"
@@ -130,10 +131,10 @@ func (vl *ViewLabel) WithMatrixFree() *ViewLabel {
 // or is unsafe.
 func (s *Scheme) LabelView(v *view.View, variant Variant) (*ViewLabel, error) {
 	if v.Spec != s.Spec {
-		return nil, fmt.Errorf("core: view %q is defined over a different specification", v.Name)
+		return nil, fmt.Errorf("core: view %q is defined over a different specification: %w", v.Name, faults.ErrForeignLabel)
 	}
 	if !v.IsSafe() {
-		return nil, fmt.Errorf("core: view %q is unsafe: %w", v.Name, v.SafetyError())
+		return nil, fmt.Errorf("core: view %q is unsafe: %w (%v)", v.Name, faults.ErrUnsafeView, v.SafetyError())
 	}
 	full, err := v.FullAssignment()
 	if err != nil {

@@ -1,0 +1,97 @@
+package drl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/run"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+func multiViewFixture(tb testing.TB, viewCount int) ([]*view.View, *run.Run) {
+	tb.Helper()
+	spec := workloads.BioAID()
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 800, Rand: rand.New(rand.NewSource(11))})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	views := make([]*view.View, viewCount)
+	for i := range views {
+		views[i], err = workloads.RandomView(spec, workloads.ViewOptions{
+			Name: "ctx-view", Composites: 6, Mode: workloads.BlackBox, Rand: rand.New(rand.NewSource(int64(20 + i))),
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return views, r
+}
+
+func TestLabelRunViewsContextPreCanceled(t *testing.T) {
+	views, r := multiViewFixture(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 3} {
+		if _, err := LabelRunViewsContext(ctx, views, r, workers); !errors.Is(err, faults.ErrCanceled) {
+			t.Fatalf("%d workers: pre-canceled context got err %v, want ErrCanceled", workers, err)
+		}
+	}
+}
+
+func TestLabelRunViewsContextUncanceledMatchesPlain(t *testing.T) {
+	views, r := multiViewFixture(t, 4)
+	plain, err := LabelRunViews(views, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := LabelRunViewsContext(context.Background(), views, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(views) || len(withCtx) != len(views) {
+		t.Fatalf("got %d and %d labelers for %d views", len(plain), len(withCtx), len(views))
+	}
+	for i := range views {
+		if plain[i].Count() != withCtx[i].Count() {
+			t.Fatalf("view %d: plain labeled %d items, context path %d", i, plain[i].Count(), withCtx[i].Count())
+		}
+	}
+}
+
+// countingCtx cancels after the first `allow` Err calls, making the
+// between-views cancellation deterministic on the single-worker path: the
+// entry check plus one check per view.
+type countingCtx struct {
+	context.Context
+	calls int
+	allow int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestLabelRunViewsContextAbortsBetweenViews(t *testing.T) {
+	views, r := multiViewFixture(t, 4)
+	// Entry check + two per-view checks succeed: the labeling must stop
+	// before the third view and report cancellation.
+	ctx := &countingCtx{Context: context.Background(), allow: 3}
+	labelers, err := LabelRunViewsContext(ctx, views, r, 1)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("got err %v, want ErrCanceled", err)
+	}
+	if labelers != nil {
+		t.Fatalf("canceled labeling must not return labelers")
+	}
+	if ctx.calls != 4 {
+		t.Fatalf("labeling checked the context %d times, want 4 (entry + one per started view)", ctx.calls)
+	}
+}

@@ -23,12 +23,12 @@
 package drl
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/run"
 	"repro/internal/view"
 	"repro/internal/workflow"
@@ -125,7 +125,7 @@ func restrictedSpecification(v *view.View) (*workflow.Specification, map[int]int
 // its initial inputs and final outputs.
 func (l *Labeler) OnInit(r *run.Run) error {
 	if r.Spec != l.View.Spec {
-		return fmt.Errorf("drl: run was derived from a different specification than view %q", l.View.Name)
+		return fmt.Errorf("drl: run was derived from a different specification than view %q: %w", l.View.Name, faults.ErrForeignLabel)
 	}
 	l.projected = run.New(l.Restricted)
 	l.labeler = l.scheme.NewRunLabeler()
@@ -208,58 +208,31 @@ func LabelRun(v *view.View, r *run.Run) (*Labeler, error) {
 }
 
 // LabelRunViews labels one run for many views concurrently, one worker-pool
-// task per view; workers <= 0 means GOMAXPROCS. This is DRL's multi-view hot
-// path (Figures 21-22) parallelized: each view's labeler mirrors the shared
-// run — which is only read — onto its own projected run, so the per-view
-// labelings are independent. The returned slice is index-aligned with views.
-// Any failure aborts the whole batch: one of the errors is returned (the
-// lowest-indexed one recorded) and in-flight work stops claiming new views.
+// task per view; workers <= 0 means GOMAXPROCS (the same normalization as
+// engine.EffectiveWorkers). This is DRL's multi-view hot path (Figures 21-22)
+// parallelized: each view's labeler mirrors the shared run — which is only
+// read — onto its own projected run, so the per-view labelings are
+// independent. The returned slice is index-aligned with views. Any failure
+// aborts the whole batch: one of the errors is returned (the lowest-indexed
+// one recorded) and in-flight work stops claiming new views.
 func LabelRunViews(views []*view.View, r *run.Run, workers int) ([]*Labeler, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(views) {
-		workers = len(views)
-	}
+	return LabelRunViewsContext(context.Background(), views, r, workers)
+}
+
+// LabelRunViewsContext is LabelRunViews with cancellation: every worker
+// re-checks the context before claiming its next view (engine.ForEach's
+// claim loop), so a canceled context aborts the batch between views —
+// in-flight view labelings finish, the remaining views are never started —
+// with an error wrapping faults.ErrCanceled.
+func LabelRunViewsContext(ctx context.Context, views []*view.View, r *run.Run, workers int) ([]*Labeler, error) {
 	labelers := make([]*Labeler, len(views))
-	errs := make([]error, len(views))
-	if workers <= 1 {
-		for i, v := range views {
-			l, err := LabelRun(v, r)
-			if err != nil {
-				return nil, err
-			}
-			labelers[i] = l
-		}
-		return labelers, nil
-	}
-	var cursor atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(views) || failed.Load() {
-					return
-				}
-				labelers[i], errs[i] = LabelRun(views[i], r)
-				if errs[i] != nil {
-					// A full relabeling per view is milliseconds of work;
-					// don't burn it on views whose results the error of this
-					// one is about to discard.
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := engine.ForEach(ctx, workers, len(views), func(i int) error {
+		l, err := LabelRun(views[i], r)
+		labelers[i] = l
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return labelers, nil
 }
@@ -293,11 +266,11 @@ func (l *Labeler) DependsOn(d1, d2 *core.DataLabel) (bool, error) {
 func (l *Labeler) DependsOnItems(d1, d2 int) (bool, error) {
 	l1, ok := l.Label(d1)
 	if !ok {
-		return false, fmt.Errorf("drl: data item %d is not visible in view %q", d1, l.View.Name)
+		return false, fmt.Errorf("drl: data item %d is not visible in view %q: %w", d1, l.View.Name, faults.ErrHiddenItem)
 	}
 	l2, ok := l.Label(d2)
 	if !ok {
-		return false, fmt.Errorf("drl: data item %d is not visible in view %q", d2, l.View.Name)
+		return false, fmt.Errorf("drl: data item %d is not visible in view %q: %w", d2, l.View.Name, faults.ErrHiddenItem)
 	}
 	return l.DependsOn(l1, l2)
 }

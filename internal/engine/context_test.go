@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// countingCtx is a context whose Err starts returning context.Canceled after
+// the first `allow` calls. It makes the claim-block cancellation behavior of
+// the engine deterministic: each nil answer admits exactly one claim (the
+// entry check plus one block per worker check), so the number of drained
+// blocks is fixed regardless of scheduling.
+type countingCtx struct {
+	context.Context
+	calls atomic.Int64
+	allow int64
+}
+
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// trueQueries builds a batch that repeats one query whose answer is known to
+// be true, so drained results are distinguishable from untouched zero
+// Results.
+func trueQueries(tb testing.TB, count int) (*core.ViewLabel, []Query) {
+	tb.Helper()
+	vl, pool := fixture(tb, core.VariantQueryEfficient, 512)
+	for _, q := range pool {
+		ok, err := vl.DependsOn(q.D1, q.D2)
+		if err == nil && ok {
+			queries := make([]Query, count)
+			for i := range queries {
+				queries[i] = q
+			}
+			return vl, queries
+		}
+	}
+	tb.Fatal("fixture produced no query with a true answer")
+	return nil, nil
+}
+
+func TestBatchPreCanceledContextRunsNothing(t *testing.T) {
+	vl, queries := trueQueries(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := New(4).DependsOnBatchContext(ctx, vl, queries)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("pre-canceled context: got err %v, want ErrCanceled", err)
+	}
+	if results != nil {
+		t.Fatalf("pre-canceled context must not drain any claim block, got %d results", len(results))
+	}
+}
+
+// TestBatchCancellationIsClaimBlockGranular pins the core contract of the
+// context-aware batch: a cancellation observed mid-batch stops workers from
+// claiming further blocks, while already-claimed blocks finish. The counting
+// context admits the entry check plus exactly two claim checks, so exactly
+// the first two 64-query blocks are drained and the rest of the batch is
+// untouched.
+func TestBatchCancellationIsClaimBlockGranular(t *testing.T) {
+	const blocks = 4
+	vl, queries := trueQueries(t, blocks*maxGrain) // 2 workers -> grain 64
+	ctx := &countingCtx{Context: context.Background(), allow: 3}
+	results, err := New(2).DependsOnBatchContext(ctx, vl, queries)
+	if !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("got err %v, want ErrCanceled", err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	drained := 2 * maxGrain
+	for i := 0; i < drained; i++ {
+		if results[i].Err != nil || !results[i].DependsOn {
+			t.Fatalf("query %d belongs to a claimed block and must be answered, got (%v, %v)",
+				i, results[i].DependsOn, results[i].Err)
+		}
+	}
+	for i := drained; i < len(results); i++ {
+		if results[i].Err != nil || results[i].DependsOn {
+			t.Fatalf("query %d was claimed after cancellation: got (%v, %v), want the zero Result",
+				i, results[i].DependsOn, results[i].Err)
+		}
+	}
+}
+
+// TestCancellationRacingCompletionIsNotAnError pins the claim-before-check
+// ordering: a cancellation that lands after every task (or claim block) has
+// been claimed must not flag the finished work as canceled. The counting
+// contexts admit exactly the entry check plus one check per executed unit —
+// any post-completion check would observe cancellation and spuriously fail.
+func TestCancellationRacingCompletionIsNotAnError(t *testing.T) {
+	const tasks = 4
+	var ran atomic.Int64
+	ctx := &countingCtx{Context: context.Background(), allow: 1 + tasks}
+	err := ForEach(ctx, 2, tasks, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach completed all tasks but reported: %v", err)
+	}
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), tasks)
+	}
+
+	const blocks = 2
+	vl, queries := trueQueries(t, blocks*maxGrain)
+	bctx := &countingCtx{Context: context.Background(), allow: 1 + blocks}
+	results, err := New(2).DependsOnBatchContext(bctx, vl, queries)
+	if err != nil {
+		t.Fatalf("batch drained every block but reported: %v", err)
+	}
+	for i, res := range results {
+		if res.Err != nil || !res.DependsOn {
+			t.Fatalf("query %d not drained: (%v, %v)", i, res.DependsOn, res.Err)
+		}
+	}
+}
+
+func TestBatchUncanceledContextMatchesPlainBatch(t *testing.T) {
+	vl, queries := fixture(t, core.VariantQueryEfficient, 300)
+	want := New(4).DependsOnBatch(vl, queries)
+	got, err := New(4).DependsOnBatchContext(context.Background(), vl, queries)
+	if err != nil {
+		t.Fatalf("uncanceled context: %v", err)
+	}
+	for i := range got {
+		if got[i].DependsOn != want[i].DependsOn || (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("query %d: context batch answered (%v, %v), plain batch (%v, %v)",
+				i, got[i].DependsOn, got[i].Err, want[i].DependsOn, want[i].Err)
+		}
+	}
+}
+
+func TestServerContextErrors(t *testing.T) {
+	vl, queries := fixture(t, core.VariantQueryEfficient, 8)
+	srv, err := NewServer(schemeOf(t, vl), []*core.ViewLabel{vl}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.DependsOnBatchContext(context.Background(), "no-such-view", queries); !errors.Is(err, faults.ErrUnknownView) {
+		t.Fatalf("unknown view: got %v, want ErrUnknownView", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.DependsOnBatchContext(ctx, vl.View().Name, queries); !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("canceled context: got %v, want ErrCanceled", err)
+	}
+	results, err := srv.DependsOnBatchContext(context.Background(), vl.View().Name, queries)
+	if err != nil || len(results) != len(queries) {
+		t.Fatalf("healthy batch: got %d results, err %v", len(results), err)
+	}
+}
+
+// schemeOf recovers the scheme a view label was computed over via its view's
+// specification, keeping the test independent of fixture internals.
+func schemeOf(tb testing.TB, vl *core.ViewLabel) *core.Scheme {
+	tb.Helper()
+	scheme, err := core.NewScheme(vl.View().Spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scheme
+}
+
+// TestEffectiveWorkersUniformDefault is the regression test for the
+// workers<=0 convention: every constructor and the zero value resolve to
+// GOMAXPROCS through the same EffectiveWorkers rule.
+func TestEffectiveWorkersUniformDefault(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := EffectiveWorkers(0); got != procs {
+		t.Fatalf("EffectiveWorkers(0) = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	if got := EffectiveWorkers(-7); got != procs {
+		t.Fatalf("EffectiveWorkers(-7) = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	if got := EffectiveWorkers(3); got != 3 {
+		t.Fatalf("EffectiveWorkers(3) = %d, want 3", got)
+	}
+	for _, workers := range []int{0, -1} {
+		if got := New(workers).Workers(); got != procs {
+			t.Fatalf("New(%d).Workers() = %d, want GOMAXPROCS = %d", workers, got, procs)
+		}
+	}
+	var zero Engine
+	if got := zero.Workers(); got != procs {
+		t.Fatalf("zero-value Engine.Workers() = %d, want GOMAXPROCS = %d", got, procs)
+	}
+	vl, _ := fixture(t, core.VariantQueryEfficient, 1)
+	srv, err := NewServer(schemeOf(t, vl), []*core.ViewLabel{vl}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Engine().Workers(); got != procs {
+		t.Fatalf("NewServer(..., 0) workers = %d, want GOMAXPROCS = %d", got, procs)
+	}
+}

@@ -8,12 +8,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // Query is one reachability question: does the item labeled D2 depend on the
@@ -51,6 +53,91 @@ func batchGrain(queries, workers int) int {
 	return g
 }
 
+// EffectiveWorkers is the single point that normalizes a worker-pool size:
+// workers <= 0 means GOMAXPROCS, any positive count is used as-is. Every
+// worker-pool entry point of the system — engine.New, the zero-value Engine,
+// NewServer/NewServerFromSnapshot and drl.LabelRunViews — resolves its worker
+// count through this function, so "0 means GOMAXPROCS" holds uniformly.
+func EffectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every index in [0, n) over a pool of workers
+// (normalized by EffectiveWorkers), claiming indices one at a time. It is
+// the single claim-loop implementation shared by every "independent tasks
+// over a worker pool" path of the system — parallel multi-view labeling in
+// drl and the fvl façade both delegate here — so the cancellation and
+// error-selection semantics cannot diverge between them:
+//
+//   - the context is checked between tasks (and once at entry);
+//     cancellation stops workers from starting further tasks — in-flight
+//     calls finish, a fully exhausted task set is never flagged — and
+//     ForEach returns an error wrapping faults.ErrCanceled;
+//   - if any fn returns an error, workers stop claiming and the
+//     lowest-indexed error recorded is returned.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: work not started: %w (%v)", faults.ErrCanceled, err)
+	}
+	workers = EffectiveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: canceled after %d of %d tasks: %w (%v)", i, n, faults.ErrCanceled, err)
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var cursor atomic.Int64
+	var failed, canceled atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Claim before checking the context: once the work is
+				// exhausted the worker exits plainly, so a cancellation
+				// racing with completion cannot produce a spurious
+				// ErrCanceled for a fully finished task set.
+				i := int(cursor.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					// Don't burn workers on tasks whose results this
+					// error is about to discard.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if canceled.Load() {
+		return fmt.Errorf("engine: canceled with tasks unclaimed: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
+	}
+	return nil
+}
+
 // Engine is a concurrent batch query engine over view labels. The zero
 // value serves batches with GOMAXPROCS workers, like New(0). An Engine is
 // stateless between calls and safe for concurrent use.
@@ -58,17 +145,15 @@ type Engine struct {
 	workers int
 }
 
-// New returns an engine with the given worker-pool size; workers <= 0 means
-// GOMAXPROCS.
+// New returns an engine with the given worker-pool size, normalized by
+// EffectiveWorkers (workers <= 0 means GOMAXPROCS).
 func New(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Engine{workers: workers}
+	return &Engine{workers: EffectiveWorkers(workers)}
 }
 
-// Workers returns the worker-pool size.
-func (e *Engine) Workers() int { return e.workers }
+// Workers returns the effective worker-pool size; for the zero-value Engine
+// it reports GOMAXPROCS, matching how batches are actually served.
+func (e *Engine) Workers() int { return EffectiveWorkers(e.workers) }
 
 // WorkerSweep returns the conventional scaling sweep 1, 2, 4, ..., max
 // (with max always included), shared by the engine benchmarks and the
@@ -91,43 +176,72 @@ func WorkerSweep(max int) []int {
 // query (contexts are born empty every query) while the matrix scratch
 // storage is reused across the worker's queries.
 func (e *Engine) DependsOnBatch(vl *core.ViewLabel, queries []Query) []Result {
-	results := make([]Result, len(queries))
-	workers := e.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		serveBatch(vl, queries, results, new(atomic.Int64), len(queries))
-		return results
-	}
-	grain := batchGrain(len(queries), workers)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			serveBatch(vl, queries, results, &cursor, grain)
-		}()
-	}
-	wg.Wait()
+	results, _ := e.DependsOnBatchContext(context.Background(), vl, queries)
 	return results
 }
 
+// DependsOnBatchContext is DependsOnBatch with cancellation: every worker
+// re-checks the context between claim blocks, so a canceled context stops
+// the batch at claim-block granularity — blocks already being drained
+// finish (they are at most maxGrain queries each), the rest are never
+// drained, and a batch whose blocks were all claimed before the
+// cancellation completes normally. On cancellation the partial results are
+// returned together with an error wrapping faults.ErrCanceled; results for
+// undrained queries are the zero Result.
+func (e *Engine) DependsOnBatchContext(ctx context.Context, vl *core.ViewLabel, queries []Query) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: batch not started: %w (%v)", faults.ErrCanceled, err)
+	}
+	results := make([]Result, len(queries))
+	workers := EffectiveWorkers(e.workers)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	var canceled atomic.Bool
+	if workers <= 1 {
+		// The single worker still drains in maxGrain-sized claim blocks so
+		// the documented cancellation granularity holds regardless of the
+		// pool size; one uncontended atomic add per block is noise.
+		serveBatch(ctx, vl, queries, results, new(atomic.Int64), batchGrain(len(queries), 1), &canceled)
+	} else {
+		grain := batchGrain(len(queries), workers)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				serveBatch(ctx, vl, queries, results, &cursor, grain, &canceled)
+			}()
+		}
+		wg.Wait()
+	}
+	if canceled.Load() {
+		return results, fmt.Errorf("engine: batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
+	}
+	return results, nil
+}
+
 // serveBatch drains grain-sized blocks of the batch until the cursor passes
-// the end.
-func serveBatch(vl *core.ViewLabel, queries []Query, results []Result, cursor *atomic.Int64, grain int) {
+// the end or the context is canceled.
+func serveBatch(ctx context.Context, vl *core.ViewLabel, queries []Query, results []Result, cursor *atomic.Int64, grain int, canceled *atomic.Bool) {
 	if grain < 1 {
 		return
 	}
 	s := core.NewQuerySession()
 	defer s.Close()
 	for {
+		// Claim, then check the context, then drain: a worker that finds the
+		// batch exhausted exits plainly (so a cancellation racing with
+		// completion cannot flag a fully drained batch as canceled), and the
+		// cancellation check never sits inside the inner loop, so results[i]
+		// is either fully computed or untouched, never half-done.
 		lo := int(cursor.Add(int64(grain))) - grain
 		if lo >= len(queries) {
+			return
+		}
+		if ctx.Err() != nil {
+			canceled.Store(true)
 			return
 		}
 		hi := lo + grain

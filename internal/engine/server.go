@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/labelstore"
 )
 
@@ -21,6 +23,8 @@ type Server struct {
 
 // NewServer builds a server over already-constructed labels. Every label
 // must belong to the scheme's specification and view names must be unique.
+// The worker count is normalized by EffectiveWorkers (workers <= 0 means
+// GOMAXPROCS).
 func NewServer(scheme *core.Scheme, labels []*core.ViewLabel, workers int) (*Server, error) {
 	if scheme == nil {
 		return nil, fmt.Errorf("engine: nil scheme")
@@ -32,7 +36,7 @@ func NewServer(scheme *core.Scheme, labels []*core.ViewLabel, workers int) (*Ser
 		}
 		name := vl.View().Name
 		if vl.View().Spec != scheme.Spec {
-			return nil, fmt.Errorf("engine: view %q belongs to a different specification", name)
+			return nil, fmt.Errorf("engine: view %q belongs to a different specification: %w", name, faults.ErrForeignLabel)
 		}
 		if _, dup := s.labels[name]; dup {
 			return nil, fmt.Errorf("engine: two labels for view %q", name)
@@ -42,8 +46,8 @@ func NewServer(scheme *core.Scheme, labels []*core.ViewLabel, workers int) (*Ser
 	return s, nil
 }
 
-// NewServerFromSnapshot serves a loaded label snapshot directly; workers <= 0
-// means GOMAXPROCS.
+// NewServerFromSnapshot serves a loaded label snapshot directly; the worker
+// count is normalized by EffectiveWorkers (workers <= 0 means GOMAXPROCS).
 func NewServerFromSnapshot(snap *labelstore.Snapshot, workers int) (*Server, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("engine: nil snapshot")
@@ -53,6 +57,9 @@ func NewServerFromSnapshot(snap *labelstore.Snapshot, workers int) (*Server, err
 
 // Scheme returns the scheme the server's labels were computed over.
 func (s *Server) Scheme() *core.Scheme { return s.scheme }
+
+// Engine returns the server's batch query engine.
+func (s *Server) Engine() *Engine { return s.engine }
 
 // Views returns the served view names in sorted order.
 func (s *Server) Views() []string {
@@ -74,9 +81,17 @@ func (s *Server) Label(viewName string) (*core.ViewLabel, bool) {
 // only when the view is unknown; per-query problems surface in the
 // corresponding Result.
 func (s *Server) DependsOnBatch(viewName string, queries []Query) ([]Result, error) {
+	return s.DependsOnBatchContext(context.Background(), viewName, queries)
+}
+
+// DependsOnBatchContext is DependsOnBatch with cancellation: a canceled
+// context aborts the batch at claim-block granularity with an error wrapping
+// faults.ErrCanceled (see Engine.DependsOnBatchContext). An unknown view name
+// fails with an error wrapping faults.ErrUnknownView.
+func (s *Server) DependsOnBatchContext(ctx context.Context, viewName string, queries []Query) ([]Result, error) {
 	vl, ok := s.labels[viewName]
 	if !ok {
-		return nil, fmt.Errorf("engine: no label for view %q (serving %v)", viewName, s.Views())
+		return nil, fmt.Errorf("engine: no label for view %q (serving %v): %w", viewName, s.Views(), faults.ErrUnknownView)
 	}
-	return s.engine.DependsOnBatch(vl, queries), nil
+	return s.engine.DependsOnBatchContext(ctx, vl, queries)
 }

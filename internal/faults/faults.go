@@ -1,0 +1,46 @@
+// Package faults defines the sentinel errors of the system's typed error
+// taxonomy. Internal packages wrap these sentinels into their error chains
+// (with %w) at the point where the condition is detected, and the public fvl
+// package re-exports the very same values, so callers can classify failures
+// with errors.Is instead of string-matching — regardless of how many layers
+// of context the error accumulated on the way up.
+//
+// The package is intentionally tiny and imports nothing: every layer of the
+// system (core, engine, drl, labelstore, fvl) can depend on it without
+// creating cycles.
+package faults
+
+import "errors"
+
+var (
+	// ErrCanceled reports that an operation observed context cancellation and
+	// stopped early: a batch query between claim blocks, a multi-view
+	// labeling between views, or a run labeling between derivation steps.
+	ErrCanceled = errors.New("operation canceled")
+
+	// ErrUnknownView reports a query against a view name the service has no
+	// label for.
+	ErrUnknownView = errors.New("unknown view")
+
+	// ErrForeignLabel reports a mismatch of provenance artifacts: a run, view
+	// or label that belongs to a different specification (or scheme) than the
+	// one it is being combined with.
+	ErrForeignLabel = errors.New("artifact belongs to a different specification")
+
+	// ErrCorruptSnapshot reports that a label snapshot failed validation:
+	// bad magic, checksum mismatch, truncated payload, or any of the
+	// structural checks the loader performs on untrusted input.
+	ErrCorruptSnapshot = errors.New("corrupt label snapshot")
+
+	// ErrUnsafeView reports that a view admits no labeling because it is
+	// unsafe (Definition 13 applied to the view specification).
+	ErrUnsafeView = errors.New("unsafe view")
+
+	// ErrNotLinearRecursive reports that the grammar is not strictly
+	// linear-recursive, so the compact labeling scheme does not apply
+	// (Theorem 6); the basic (Theorem 1) scheme remains available.
+	ErrNotLinearRecursive = errors.New("grammar is not strictly linear-recursive")
+
+	// ErrHiddenItem reports a query about a data item the view hides.
+	ErrHiddenItem = errors.New("data item is not visible in the view")
+)

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/boolmat"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/view"
 	"repro/internal/workflow"
 )
@@ -128,6 +129,9 @@ func encodePayload(scheme *core.Scheme, labels []*core.ViewLabel) ([]byte, error
 	}
 	buf = appendBytes(buf, spec)
 	buf = binary.AppendUvarint(buf, uint64(len(labels)))
+	// Load rejects snapshots that store a view twice, so Save must too: the
+	// writer may never produce an artifact its own reader calls corrupt.
+	names := make(map[string]bool, len(labels))
 	for i, vl := range labels {
 		if vl == nil {
 			return nil, fmt.Errorf("labelstore: label %d is nil", i)
@@ -136,6 +140,10 @@ func encodePayload(scheme *core.Scheme, labels []*core.ViewLabel) ([]byte, error
 		if v.Spec != scheme.Spec {
 			return nil, fmt.Errorf("labelstore: label %d (view %q) belongs to a different specification", i, v.Name)
 		}
+		if names[v.Name] {
+			return nil, fmt.Errorf("labelstore: two labels for view %q", v.Name)
+		}
+		names[v.Name] = true
 		buf = appendString(buf, v.Name)
 		buf = append(buf, byte(vl.Variant()))
 		buf = appendStrings(buf, v.ExpandableModules())
@@ -296,8 +304,20 @@ func LoadFile(path string) (*Snapshot, error) {
 	return Load(f)
 }
 
-// LoadBytes is Load over an in-memory snapshot.
+// LoadBytes is Load over an in-memory snapshot. Every validation failure —
+// from the bad-magic check down to the per-label structural checks of
+// core.Scheme.RestoreView — is reported with an error wrapping
+// faults.ErrCorruptSnapshot, so callers can classify "this artifact is bad"
+// with errors.Is without inspecting messages.
 func LoadBytes(data []byte) (*Snapshot, error) {
+	snap, err := loadBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", faults.ErrCorruptSnapshot, err)
+	}
+	return snap, nil
+}
+
+func loadBytes(data []byte) (*Snapshot, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("labelstore: %d bytes is shorter than the %d-byte header", len(data), headerSize)
 	}

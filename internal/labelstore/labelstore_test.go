@@ -270,6 +270,28 @@ func TestSaveRejectsForeignLabel(t *testing.T) {
 	}
 }
 
+// TestSaveRejectsDuplicateViewNames pins the writer/reader symmetry: Load
+// rejects snapshots storing a view twice, so Save must refuse to produce
+// one instead of writing an artifact its own reader calls corrupt.
+func TestSaveRejectsDuplicateViewNames(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := scheme.LabelView(view.Default(spec), core.VariantDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := labelstore.Save(&buf, scheme, []*core.ViewLabel{vl, vl}); err == nil {
+		t.Fatal("Save accepted two labels for the same view name")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed Save still wrote %d bytes", buf.Len())
+	}
+}
+
 // TestLoadRejectsCorruptedSnapshots flips, truncates and extends a valid
 // snapshot and requires Load to fail cleanly on every mutation — the
 // deterministic cousin of FuzzLoad.
