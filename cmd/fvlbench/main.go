@@ -15,7 +15,10 @@
 //
 // The engine experiment measures the concurrent serving layer (batch query
 // throughput and parallel multi-view labeling); -parallel caps its worker
-// sweep, defaulting to GOMAXPROCS. The snapshot experiment loads a label
+// sweep, defaulting to GOMAXPROCS. The live experiment replays a recorded
+// derivation into a live session while readers query the growing prefix,
+// measuring per-step label latency and mid-run vs post-run query throughput
+// (-parallel caps its sweep too). The snapshot experiment loads a label
 // snapshot written by wflabel -snapshot and differentially verifies it
 // against freshly built labels; without -load it is skipped.
 //

@@ -45,4 +45,13 @@ var (
 
 	// ErrHiddenItem: a query involved a data item the view hides.
 	ErrHiddenItem = faults.ErrHiddenItem
+
+	// ErrUnknownItem: a live-session query named a data item ID with no
+	// label at the answering step prefix — the ID is unknown, or the item
+	// had not yet been produced when the batch pinned its prefix.
+	ErrUnknownItem = faults.ErrUnknownItem
+
+	// ErrCorruptJournal: a step journal failed validation (bad magic, a
+	// truncated or non-canonical varint, or an out-of-range value).
+	ErrCorruptJournal = faults.ErrCorruptJournal
 )

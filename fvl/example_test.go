@@ -2,6 +2,7 @@ package fvl_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -125,4 +126,54 @@ func ExampleService_DependsOnBatch() {
 	// Output:
 	// query 0: true
 	// query 1: false
+}
+
+// ExampleService_OpenLive queries dependencies while the workflow is still
+// executing: each derivation step labels its new data items on the fly, so
+// answers are available mid-run — no relabeling, no waiting for completion.
+func ExampleService_OpenLive() {
+	spec := tinySpec()
+	svc, err := fvl.Open(context.Background(), spec, []*fvl.View{spec.DefaultView()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := svc.OpenLive()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The run starts: S expands into align -> Filter -> plot (items 3-5 are
+	// the new internal data edges; the Filter loop has not run yet).
+	if _, err := sess.Apply(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := sess.DependsOn(ctx, "default", 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mid-run: epoch %d, %d items, item 3 depends on input: %v\n", sess.Epoch(), sess.Items(), ans)
+
+	// A query about data the run has not produced yet fails with
+	// ErrUnknownItem instead of guessing.
+	if _, err := sess.DependsOn(ctx, "default", 1, 6); err != nil {
+		fmt.Printf("mid-run: item 6: %v\n", errors.Is(err, fvl.ErrUnknownItem))
+	}
+
+	// The Filter loop runs one iteration, then stops; item 6 now exists.
+	if _, err := sess.Apply(2, 2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Apply(5, 3); err != nil {
+		log.Fatal(err)
+	}
+	ans, err = sess.DependsOn(ctx, "default", 1, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: epoch %d, complete %v, item 6 depends on input: %v\n", sess.Epoch(), sess.IsComplete(), ans)
+	// Output:
+	// mid-run: epoch 1, 5 items, item 3 depends on input: true
+	// mid-run: item 6: true
+	// done: epoch 3, complete true, item 6 depends on input: true
 }

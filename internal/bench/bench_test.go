@@ -161,7 +161,7 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatalf("unknown experiment must not resolve")
 	}
-	if len(All()) != 12 {
-		t.Fatalf("expected 12 experiments (9 figures + table 1 + engine + snapshot), got %d", len(All()))
+	if len(All()) != 13 {
+		t.Fatalf("expected 13 experiments (9 figures + table 1 + engine + live + snapshot), got %d", len(All()))
 	}
 }

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/live"
+	"repro/internal/workloads"
+)
+
+// LiveServing is not a figure of the paper: it measures the claim the paper
+// only states — that on-the-fly labeling makes dependency queries answerable
+// *during* execution. A producer replays a recorded derivation into a live
+// session step by step while a reader hammers the engine's session-aware
+// batch path against the growing prefix; the experiment reports the
+// per-step labeling latency the producer pays and the query throughput the
+// reader sustains mid-run, then the post-run throughput over the same label
+// for comparison. Labels are final on assignment, so mid-run answers cost
+// the same decode as post-run answers — the two throughput columns should
+// be close, and per-step latency should stay flat as the worker count grows
+// (readers never stop the producer).
+func LiveServing(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Record a derivation to replay: the steps of a random run of the
+	// multi-view size.
+	recorded, err := workloads.RandomRun(spec, workloads.RunOptions{
+		TargetSize: cfg.MultiViewRunSize,
+		Rand:       newRand(cfg.Seed + 2100),
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]live.StepRequest, len(recorded.Steps))
+	for i, st := range recorded.Steps {
+		steps[i] = live.StepRequest{Instance: st.Instance, Prod: st.Prod}
+	}
+
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "live", Composites: 8, Mode: workloads.GreyBox, Rand: newRand(cfg.Seed + 2200),
+	})
+	if err != nil {
+		return nil, err
+	}
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return nil, err
+	}
+
+	maxWorkers := cfg.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	batchSize := cfg.Queries / 10
+	if batchSize < 64 {
+		batchSize = 64
+	}
+	if batchSize > 4096 {
+		batchSize = 4096
+	}
+
+	t := &Table{
+		Name:  "live",
+		Title: fmt.Sprintf("Live serving: %d-step ingestion, %d-query batches against the growing prefix", len(steps), batchSize),
+		Columns: []string{
+			"workers", "per-step label (us)", "mid-run queries/s", "post-run queries/s", "mid-run batches",
+		},
+		Notes: "per-step latency should stay flat as workers grow (readers never stop the producer); mid-run and post-run throughput should be close",
+	}
+
+	for _, workers := range engine.WorkerSweep(maxWorkers) {
+		e := engine.New(workers)
+		sess, err := live.NewSession(scheme)
+		if err != nil {
+			return nil, err
+		}
+
+		var done atomic.Bool
+		var midQueries, midBatches int64
+		var midTime time.Duration
+		readerErr := make(chan error, 1)
+		go func() {
+			rng := rand.New(rand.NewSource(cfg.Seed + 2300 + int64(workers)))
+			queries := make([]engine.ItemQuery, batchSize)
+			for !done.Load() {
+				prefix := sess.Current()
+				n := prefix.Items()
+				if n == 0 {
+					continue
+				}
+				for i := range queries {
+					queries[i] = engine.ItemQuery{From: 1 + rng.Intn(n), To: 1 + rng.Intn(n)}
+				}
+				start := time.Now()
+				results := e.DependsOnItemsBatch(vl, prefix, queries)
+				midTime += time.Since(start)
+				midQueries += int64(len(results))
+				midBatches++
+				// Yield between batches, mirroring the producer's yield, so
+				// ingestion and serving interleave per-step/per-batch instead
+				// of per scheduler slice on single-P runtimes.
+				runtime.Gosched()
+			}
+			readerErr <- nil
+		}()
+
+		// Time each Apply individually and yield between steps: a real
+		// producer does work between productions, but this replay has none,
+		// and without the yield a single-P runtime would starve the reader
+		// for the whole ingestion window.
+		var applyTime time.Duration
+		for _, req := range steps {
+			start := time.Now()
+			_, err := sess.Apply(req.Instance, req.Prod)
+			applyTime += time.Since(start)
+			if err != nil {
+				done.Store(true)
+				<-readerErr
+				return nil, err
+			}
+			runtime.Gosched()
+		}
+		done.Store(true)
+		<-readerErr
+
+		// Post-run throughput over the completed prefix, same batch size.
+		prefix := sess.Current()
+		rng := rand.New(rand.NewSource(cfg.Seed + 2400 + int64(workers)))
+		queries := make([]engine.ItemQuery, batchSize)
+		n := prefix.Items()
+		for i := range queries {
+			queries[i] = engine.ItemQuery{From: 1 + rng.Intn(n), To: 1 + rng.Intn(n)}
+		}
+		samples := cfg.SamplesPerPoint
+		if samples < 1 {
+			samples = 1
+		}
+		var postTime time.Duration
+		var postQueries int64
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			results := e.DependsOnItemsBatch(vl, prefix, queries)
+			postTime += time.Since(start)
+			postQueries += int64(len(results))
+		}
+
+		perStep := time.Duration(0)
+		if len(steps) > 0 {
+			perStep = applyTime / time.Duration(len(steps))
+		}
+		midQPS := 0.0
+		if midTime > 0 {
+			midQPS = float64(midQueries) / midTime.Seconds()
+		}
+		postQPS := 0.0
+		if postTime > 0 {
+			postQPS = float64(postQueries) / postTime.Seconds()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtCount(workers),
+			fmtUs(perStep),
+			fmt.Sprintf("%.0f", midQPS),
+			fmt.Sprintf("%.0f", postQPS),
+			fmtCount(int(midBatches)),
+		})
+	}
+	return t, nil
+}

@@ -193,38 +193,103 @@ func (e *Engine) DependsOnBatchContext(ctx context.Context, vl *core.ViewLabel, 
 		return nil, fmt.Errorf("engine: batch not started: %w (%v)", faults.ErrCanceled, err)
 	}
 	results := make([]Result, len(queries))
+	if e.fanOut(ctx, len(queries), func(s *core.QuerySession, i int) {
+		results[i] = serveOne(s, vl, queries[i])
+	}) {
+		return results, fmt.Errorf("engine: batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
+	}
+	return results, nil
+}
+
+// ItemQuery is one reachability question posed by data item ID instead of by
+// label: does the item with ID To depend on the item with ID From? Labels are
+// resolved through a LabelSource at answer time, which is what lets batches
+// run against a live session's pinned step prefix.
+type ItemQuery struct {
+	From, To int
+}
+
+// LabelSource resolves data item IDs to labels drawn from one consistent
+// step prefix of a run. Implementations must be safe for concurrent use and
+// immutable for the duration of a batch — a live session's published prefix
+// and a completed run's core.RunLabeler both qualify.
+type LabelSource interface {
+	Label(itemID int) (*core.DataLabel, bool)
+}
+
+// DependsOnItemsBatch is the session-aware batch path: it answers item-ID
+// queries against one view label, resolving IDs through src. See
+// DependsOnItemsBatchContext.
+func (e *Engine) DependsOnItemsBatch(vl *core.ViewLabel, src LabelSource, queries []ItemQuery) []Result {
+	results, _ := e.DependsOnItemsBatchContext(context.Background(), vl, src, queries)
+	return results
+}
+
+// DependsOnItemsBatchContext answers item-ID queries against one view label
+// over the worker pool, resolving each ID through src. An ID src cannot
+// resolve — unknown, or not yet produced at the prefix src represents —
+// fails that query's Result with an error wrapping faults.ErrUnknownItem;
+// the rest of the batch is unaffected. Cancellation behaves exactly like
+// DependsOnBatchContext: claim-block granularity, partial results returned
+// with an error wrapping faults.ErrCanceled.
+func (e *Engine) DependsOnItemsBatchContext(ctx context.Context, vl *core.ViewLabel, src LabelSource, queries []ItemQuery) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: items batch not started: %w (%v)", faults.ErrCanceled, err)
+	}
+	if src == nil {
+		// A full-length result slice with every Err set keeps the
+		// error-dropping convenience wrapper (DependsOnItemsBatch) from
+		// handing back a bare nil slice for a programming error.
+		results := make([]Result, len(queries))
+		err := fmt.Errorf("engine: nil label source")
+		for i := range results {
+			results[i].Err = err
+		}
+		return results, err
+	}
+	results := make([]Result, len(queries))
+	if e.fanOut(ctx, len(queries), func(s *core.QuerySession, i int) {
+		results[i] = serveItem(s, vl, src, queries[i])
+	}) {
+		return results, fmt.Errorf("engine: items batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
+	}
+	return results, nil
+}
+
+// fanOut is the shared claim loop of both batch paths: it runs answer(s, i)
+// for every index in [0, n) over the worker pool, each worker holding one
+// pooled query context, claiming grain-sized blocks from a shared cursor. It
+// reports whether cancellation left claim blocks undrained.
+func (e *Engine) fanOut(ctx context.Context, n int, answer func(s *core.QuerySession, i int)) bool {
 	workers := EffectiveWorkers(e.workers)
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > n {
+		workers = n
 	}
 	var canceled atomic.Bool
 	if workers <= 1 {
 		// The single worker still drains in maxGrain-sized claim blocks so
 		// the documented cancellation granularity holds regardless of the
 		// pool size; one uncontended atomic add per block is noise.
-		serveBatch(ctx, vl, queries, results, new(atomic.Int64), batchGrain(len(queries), 1), &canceled)
+		serveClaims(ctx, n, new(atomic.Int64), batchGrain(n, 1), &canceled, answer)
 	} else {
-		grain := batchGrain(len(queries), workers)
+		grain := batchGrain(n, workers)
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				serveBatch(ctx, vl, queries, results, &cursor, grain, &canceled)
+				serveClaims(ctx, n, &cursor, grain, &canceled, answer)
 			}()
 		}
 		wg.Wait()
 	}
-	if canceled.Load() {
-		return results, fmt.Errorf("engine: batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
-	}
-	return results, nil
+	return canceled.Load()
 }
 
-// serveBatch drains grain-sized blocks of the batch until the cursor passes
+// serveClaims drains grain-sized blocks of the batch until the cursor passes
 // the end or the context is canceled.
-func serveBatch(ctx context.Context, vl *core.ViewLabel, queries []Query, results []Result, cursor *atomic.Int64, grain int, canceled *atomic.Bool) {
+func serveClaims(ctx context.Context, n int, cursor *atomic.Int64, grain int, canceled *atomic.Bool, answer func(s *core.QuerySession, i int)) {
 	if grain < 1 {
 		return
 	}
@@ -237,7 +302,7 @@ func serveBatch(ctx context.Context, vl *core.ViewLabel, queries []Query, result
 		// cancellation check never sits inside the inner loop, so results[i]
 		// is either fully computed or untouched, never half-done.
 		lo := int(cursor.Add(int64(grain))) - grain
-		if lo >= len(queries) {
+		if lo >= n {
 			return
 		}
 		if ctx.Err() != nil {
@@ -245,13 +310,33 @@ func serveBatch(ctx context.Context, vl *core.ViewLabel, queries []Query, result
 			return
 		}
 		hi := lo + grain
-		if hi > len(queries) {
-			hi = len(queries)
+		if hi > n {
+			hi = n
 		}
 		for i := lo; i < hi; i++ {
-			results[i] = serveOne(s, vl, queries[i])
+			answer(s, i)
 		}
 	}
+}
+
+// serveItem resolves one item-ID query through the label source and answers
+// it, with the same panic containment as serveOne.
+func serveItem(s *core.QuerySession, vl *core.ViewLabel, src LabelSource, q ItemQuery) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: query panicked: %v", r)}
+		}
+	}()
+	d1, ok := src.Label(q.From)
+	if !ok {
+		return Result{Err: fmt.Errorf("engine: item %d: %w", q.From, faults.ErrUnknownItem)}
+	}
+	d2, ok := src.Label(q.To)
+	if !ok {
+		return Result{Err: fmt.Errorf("engine: item %d: %w", q.To, faults.ErrUnknownItem)}
+	}
+	ok, err := s.DependsOn(vl, d1, d2)
+	return Result{DependsOn: ok, Err: err}
 }
 
 // serveOne answers a single query, converting a panic — e.g. from a

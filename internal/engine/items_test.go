@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/workloads"
+)
+
+// itemsFixture builds one labeled BioAID run and a grey-box view label; the
+// run labeler doubles as the LabelSource (a completed run is just a live
+// session whose prefix is the whole derivation).
+func itemsFixture(tb testing.TB, count int) (*core.ViewLabel, *core.RunLabeler, []ItemQuery) {
+	tb.Helper()
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 1200, Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "items", Composites: 8, Mode: workloads.GreyBox, Rand: rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	queries := make([]ItemQuery, count)
+	for i := range queries {
+		queries[i] = ItemQuery{From: 1 + rng.Intn(labeler.Count()), To: 1 + rng.Intn(labeler.Count())}
+	}
+	return vl, labeler, queries
+}
+
+// TestItemsBatchMatchesLabelBatch: resolving IDs through a LabelSource must
+// give exactly the answers the label-pair path gives, for several pool
+// sizes. core.RunLabeler is the LabelSource — the static assertion below
+// keeps that interface satisfaction from regressing.
+var _ LabelSource = (*core.RunLabeler)(nil)
+
+func TestItemsBatchMatchesLabelBatch(t *testing.T) {
+	vl, labeler, queries := itemsFixture(t, 400)
+	paired := make([]Query, len(queries))
+	for i, q := range queries {
+		d1, _ := labeler.Label(q.From)
+		d2, _ := labeler.Label(q.To)
+		paired[i] = Query{D1: d1, D2: d2}
+	}
+	want := New(1).DependsOnBatch(vl, paired)
+	for _, workers := range []int{1, 2, 4} {
+		got := New(workers).DependsOnItemsBatch(vl, labeler, queries)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].DependsOn != want[i].DependsOn || (got[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d query %d: got %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestItemsBatchUnknownItemFailsOnlyItsQuery(t *testing.T) {
+	vl, labeler, _ := itemsFixture(t, 0)
+	queries := []ItemQuery{
+		{From: 1, To: 2},
+		{From: 0, To: 1},                   // IDs are 1-based; 0 never resolves
+		{From: 1, To: labeler.Count() + 1}, // beyond the prefix
+	}
+	results := New(2).DependsOnItemsBatch(vl, labeler, queries)
+	if results[1].Err == nil || !errors.Is(results[1].Err, faults.ErrUnknownItem) {
+		t.Fatalf("query 1: want ErrUnknownItem, got %+v", results[1])
+	}
+	if results[2].Err == nil || !errors.Is(results[2].Err, faults.ErrUnknownItem) {
+		t.Fatalf("query 2: want ErrUnknownItem, got %+v", results[2])
+	}
+	if errors.Is(results[0].Err, faults.ErrUnknownItem) {
+		t.Fatalf("query 0 should not have been poisoned: %+v", results[0])
+	}
+}
+
+func TestItemsBatchCancellation(t *testing.T) {
+	vl, labeler, queries := itemsFixture(t, 300)
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(2).DependsOnItemsBatchContext(pre, vl, labeler, queries); !errors.Is(err, faults.ErrCanceled) {
+		t.Fatalf("pre-canceled context: got %v", err)
+	}
+	results, err := New(2).DependsOnItemsBatchContext(context.Background(), vl, nil, queries)
+	if err == nil {
+		t.Fatal("nil label source accepted")
+	}
+	// The convenience wrapper drops the batch error, so every Result must
+	// carry it instead of handing back a bare nil slice.
+	if len(results) != len(queries) || results[0].Err == nil {
+		t.Fatalf("nil label source: want per-query errors, got %d results, first %+v", len(results), results[0])
+	}
+}

@@ -95,3 +95,18 @@ func (s *Server) DependsOnBatchContext(ctx context.Context, viewName string, que
 	}
 	return s.engine.DependsOnBatchContext(ctx, vl, queries)
 }
+
+// DependsOnItemsBatchContext is the session-aware batch path at the server
+// level: item-ID queries against the named view, with labels resolved
+// through src — typically a live session's pinned prefix, so the whole
+// batch is answered against one consistent step prefix of an in-flight run.
+// Unknown views fail with faults.ErrUnknownView; unresolvable item IDs fail
+// only their own Result (faults.ErrUnknownItem); cancellation matches
+// Engine.DependsOnItemsBatchContext.
+func (s *Server) DependsOnItemsBatchContext(ctx context.Context, viewName string, src LabelSource, queries []ItemQuery) ([]Result, error) {
+	vl, ok := s.labels[viewName]
+	if !ok {
+		return nil, fmt.Errorf("engine: no label for view %q (serving %v): %w", viewName, s.Views(), faults.ErrUnknownView)
+	}
+	return s.engine.DependsOnItemsBatchContext(ctx, vl, src, queries)
+}

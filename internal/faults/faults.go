@@ -43,4 +43,13 @@ var (
 
 	// ErrHiddenItem reports a query about a data item the view hides.
 	ErrHiddenItem = errors.New("data item is not visible in the view")
+
+	// ErrUnknownItem reports a query about a data item ID that has no label
+	// at the answering step prefix: the ID is unknown, or the item had not
+	// yet been produced when the live session pinned the prefix.
+	ErrUnknownItem = errors.New("data item has no label at this prefix")
+
+	// ErrCorruptJournal reports that a step journal failed validation: bad
+	// magic, a truncated or non-canonical varint, or an out-of-range value.
+	ErrCorruptJournal = errors.New("corrupt step journal")
 )

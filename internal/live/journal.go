@@ -1,0 +1,164 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+)
+
+// The step journal is the durable form of a live session: the sequence of
+// (instance, production) requests that, replayed against a fresh run of the
+// same specification, reconstructs the session at any prefix. It is a flat
+// binary stream:
+//
+//	offset  size  field
+//	0       8     magic "FVLJRNL\x01" (the last byte is the format version)
+//	8       —     records, each: uvarint instance, uvarint production
+//
+// Reading is an untrusted-input surface in the PR 3 style — a journal comes
+// from disk or the network, so the decoder rejects, never panics:
+//
+//   - varints must be canonically (minimally) encoded, so every accepted
+//     stream re-encodes bit-exactly (FuzzJournalReplay asserts this);
+//   - instance and production values are bounded by maxJournalValue; real
+//     values are small ints, the bound only stops corrupted bytes from
+//     overflowing int on 32-bit targets;
+//   - a record must be complete: a stream that ends mid-record is rejected;
+//   - the record count is bounded by the input length by construction (each
+//     record is at least two bytes), so decoding allocates O(len(input)).
+//
+// Whether the steps apply to the specification is not the codec's business:
+// Resume replays them through run.Apply, which validates instance existence,
+// production arity and expansion state step by step.
+
+// journalMagic identifies a step journal; the final byte is the version.
+var journalMagic = [8]byte{'F', 'V', 'L', 'J', 'R', 'N', 'L', 0x01}
+
+// maxJournalValue bounds decoded instance and production values: they must
+// fit an int32, far above any real derivation while keeping arithmetic on
+// the decoded values safe everywhere an int is 32 bits.
+const maxJournalValue = 1<<31 - 1
+
+// JournalWriter appends step records to a stream. The header is written by
+// NewJournalWriter, so even an empty journal is a valid artifact.
+type JournalWriter struct {
+	w io.Writer
+}
+
+// NewJournalWriter writes the journal header and returns a writer ready to
+// append records.
+func NewJournalWriter(w io.Writer) (*JournalWriter, error) {
+	if w == nil {
+		return nil, fmt.Errorf("live: nil journal writer")
+	}
+	if _, err := w.Write(journalMagic[:]); err != nil {
+		return nil, err
+	}
+	return &JournalWriter{w: w}, nil
+}
+
+// Append writes one step record.
+func (jw *JournalWriter) Append(req StepRequest) error {
+	buf, err := appendRecord(nil, req)
+	if err != nil {
+		return err
+	}
+	_, err = jw.w.Write(buf)
+	return err
+}
+
+// appendRecord encodes one record onto buf. Negative or oversized fields are
+// rejected so the write path can only produce streams the read path accepts.
+func appendRecord(buf []byte, req StepRequest) ([]byte, error) {
+	if req.Instance < 0 || req.Instance > maxJournalValue {
+		return nil, fmt.Errorf("live: journal instance %d out of range", req.Instance)
+	}
+	if req.Prod < 0 || req.Prod > maxJournalValue {
+		return nil, fmt.Errorf("live: journal production %d out of range", req.Prod)
+	}
+	buf = binary.AppendUvarint(buf, uint64(req.Instance))
+	buf = binary.AppendUvarint(buf, uint64(req.Prod))
+	return buf, nil
+}
+
+// EncodeJournal renders a step sequence in the journal format. It is the
+// one-shot form of NewJournalWriter + Append and fails only on out-of-range
+// field values.
+func EncodeJournal(steps []StepRequest) ([]byte, error) {
+	buf := append([]byte(nil), journalMagic[:]...)
+	var err error
+	for _, req := range steps {
+		if buf, err = appendRecord(buf, req); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeJournal parses a journal from untrusted bytes. Any structural
+// problem — bad magic, a non-canonical or truncated varint, an out-of-range
+// value — fails with an error wrapping ErrCorruptJournal; the decoder never
+// panics. Every accepted stream re-encodes to exactly the input bytes.
+func DecodeJournal(data []byte) ([]StepRequest, error) {
+	if len(data) < len(journalMagic) || !bytes.Equal(data[:len(journalMagic)], journalMagic[:]) {
+		return nil, fmt.Errorf("live: bad journal magic: %w", faults.ErrCorruptJournal)
+	}
+	rest := data[len(journalMagic):]
+	// Each record is at least two bytes, so this bounds the allocation by
+	// the input length.
+	steps := make([]StepRequest, 0, len(rest)/2)
+	for off := 0; off < len(rest); {
+		instance, n, err := readValue(rest[off:])
+		if err != nil {
+			return nil, fmt.Errorf("live: journal record %d instance at offset %d: %w", len(steps)+1, off, err)
+		}
+		off += n
+		prod, n, err := readValue(rest[off:])
+		if err != nil {
+			return nil, fmt.Errorf("live: journal record %d production at offset %d: %w", len(steps)+1, off, err)
+		}
+		off += n
+		steps = append(steps, StepRequest{Instance: instance, Prod: prod})
+	}
+	return steps, nil
+}
+
+// ReadJournal decodes a journal from a reader (see DecodeJournal).
+func ReadJournal(r io.Reader) ([]StepRequest, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("live: reading journal: %w", err)
+	}
+	return DecodeJournal(data)
+}
+
+// readValue decodes one bounded canonical uvarint.
+func readValue(b []byte) (int, int, error) {
+	v, n, err := readCanonicalUvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v > maxJournalValue {
+		return 0, 0, fmt.Errorf("live: value %d exceeds the journal bound: %w", v, faults.ErrCorruptJournal)
+	}
+	return int(v), n, nil
+}
+
+// readCanonicalUvarint decodes a uvarint and rejects non-minimal encodings:
+// a multi-byte encoding whose last byte is zero carries redundant high bits,
+// and accepting it would break the bit-exact re-encode guarantee.
+func readCanonicalUvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	switch {
+	case n == 0:
+		return 0, 0, fmt.Errorf("live: truncated varint: %w", faults.ErrCorruptJournal)
+	case n < 0:
+		return 0, 0, fmt.Errorf("live: varint overflows 64 bits: %w", faults.ErrCorruptJournal)
+	case n > 1 && b[n-1] == 0:
+		return 0, 0, fmt.Errorf("live: non-canonical varint: %w", faults.ErrCorruptJournal)
+	}
+	return v, n, nil
+}

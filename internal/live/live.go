@@ -1,0 +1,331 @@
+// Package live serves dependency queries over runs that are still executing.
+// The paper's central claim is that runs are labeled on-the-fly (Section
+// 4.2.3): a data item's label is final the moment the item is produced, so
+// reachability questions can be answered during the run, not only after it.
+// This package closes the gap between that claim and the batch consumers of
+// the rest of the system: a Session wraps a run.Run together with its
+// core.RunLabeler behind an epoch-based single-writer/multi-reader protocol.
+//
+// # The epoch protocol
+//
+// Producers (Apply, Feed) serialize on the session's mutex, advance the
+// derivation one step at a time and let the labeler assign labels to the new
+// data items. After each step the session publishes an immutable Prefix — the
+// epoch number (= derivation steps applied), the labels assigned so far and
+// the step requests that produced them — through one atomic pointer store.
+//
+// Readers never take a lock and are never stopped: Current() is one atomic
+// load, and everything reachable from the returned Prefix is frozen. Three
+// facts make this safe without copying any per-item state:
+//
+//   - data labels are write-once: the labeler never modifies a label after
+//     assigning it (the view-adaptive property — that is what makes the
+//     scheme dynamic), so sharing the label pointers is sound;
+//   - item IDs are contiguous, so the labels live in one slice indexed by
+//     itemID-1; the producer appends to its private tail and publishes a
+//     length-capped alias, so a reader's slice header can never see an
+//     in-flight append;
+//   - the atomic pointer store happens after every write the Prefix exposes,
+//     so the publish is also the memory barrier (release/acquire).
+//
+// Every published Prefix therefore corresponds to an exact step prefix of
+// the derivation, and every answer computed from one Prefix is consistent
+// with that prefix — the invariant the race and differential tests assert.
+//
+// A Session is restartable: attach a journal (WithJournal) to persist each
+// applied step, and Resume replays the journal into a fresh session. The
+// journal codec lives in journal.go.
+package live
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/run"
+)
+
+// StepRequest asks a session to expand the composite module instance
+// Instance with the production of 1-based index Prod. It is also the record
+// type of the step journal.
+type StepRequest struct {
+	Instance int
+	Prod     int
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithJournal attaches a step journal: every successfully applied step is
+// appended to w (journal format, see journal.go) before it is published, so
+// a crashed or stopped session can be rebuilt with Resume. A write error
+// poisons the session — the failed step is never published, and further
+// producer calls fail — because a session that silently outruns its journal
+// would no longer be restartable.
+func WithJournal(w io.Writer) Option {
+	return func(s *Session) { s.journalDst = w }
+}
+
+// Session is a live run: a derivation in progress whose data items are
+// labeled the moment they are produced, and whose labels can be read by any
+// number of concurrent readers while producers keep appending steps.
+//
+// Producer methods (Apply, Feed) are safe for concurrent use and serialize
+// internally; reader methods (Current, Label, Epoch, Items) are lock-free.
+type Session struct {
+	scheme  *core.Scheme
+	run     *run.Run
+	labeler *core.RunLabeler
+
+	mu      sync.Mutex
+	journal *JournalWriter
+	failed  error
+	labels  []*core.DataLabel
+	steps   []StepRequest
+
+	cur atomic.Pointer[Prefix]
+
+	journalDst io.Writer // set by WithJournal, consumed by NewSession
+}
+
+// NewSession starts a live run of the scheme's specification: the unexpanded
+// start module with its initial inputs and final outputs, all labeled, at
+// epoch 0.
+func NewSession(scheme *core.Scheme, opts ...Option) (*Session, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("live: nil scheme")
+	}
+	s := &Session{scheme: scheme}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.journalDst != nil {
+		jw, err := NewJournalWriter(s.journalDst)
+		if err != nil {
+			return nil, fmt.Errorf("live: starting journal: %w", err)
+		}
+		s.journal = jw
+	}
+	s.run = run.New(scheme.Spec)
+	s.labeler = scheme.NewRunLabeler()
+	if err := s.labeler.OnInit(s.run); err != nil {
+		return nil, err
+	}
+	for _, item := range s.run.Items {
+		d, ok := s.labeler.Label(item.ID)
+		if !ok || item.ID != len(s.labels)+1 {
+			return nil, fmt.Errorf("live: initial item %d left unlabeled", item.ID)
+		}
+		s.labels = append(s.labels, d)
+	}
+	s.publishLocked()
+	return s, nil
+}
+
+// Resume rebuilds a session by replaying a step journal (written by a
+// session opened with WithJournal, or exported with Prefix.WriteJournal).
+// The journal bytes are untrusted: corruption fails with ErrCorruptJournal,
+// and steps that do not apply to the specification fail with the underlying
+// apply error. Options apply to the new session, so Resume(..., WithJournal)
+// re-persists the replayed steps onto the fresh journal.
+func Resume(scheme *core.Scheme, journal io.Reader, opts ...Option) (*Session, error) {
+	steps, err := ReadJournal(journal)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(scheme, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i, req := range steps {
+		if _, err := s.Apply(req.Instance, req.Prod); err != nil {
+			return nil, fmt.Errorf("live: replaying journal step %d of %d: %w", i+1, len(steps), err)
+		}
+	}
+	return s, nil
+}
+
+// publishLocked publishes the current producer state as a new Prefix. The
+// slices are length-capped so a reader can never observe a later append
+// through an aliased tail.
+func (s *Session) publishLocked() {
+	n, k := len(s.labels), len(s.steps)
+	s.cur.Store(&Prefix{
+		epoch:  uint64(k),
+		labels: s.labels[:n:n],
+		steps:  s.steps[:k:k],
+	})
+}
+
+// Apply expands the composite instance with the 1-based production index,
+// labels the data items the step produced and publishes the new epoch. It
+// returns the epoch at which the step became visible to readers.
+//
+// A rejected step (unknown instance, wrong production) leaves the session
+// unchanged and usable. A labeling or journal failure poisons the session:
+// the step is never published, readers keep answering at the last good
+// epoch, and every later producer call fails with the original error.
+func (s *Session) Apply(instance, prod int) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return 0, fmt.Errorf("live: session is poisoned: %w", s.failed)
+	}
+	step, err := s.run.Apply(instance, prod)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.labeler.OnStep(s.run, step); err != nil {
+		s.failed = err
+		return 0, fmt.Errorf("live: labeling step %d poisoned the session: %w", step.Index, err)
+	}
+	for _, itemID := range step.NewItems {
+		d, ok := s.labeler.Label(itemID)
+		if !ok || itemID != len(s.labels)+1 {
+			s.failed = fmt.Errorf("live: step %d produced item %d out of order", step.Index, itemID)
+			return 0, s.failed
+		}
+		s.labels = append(s.labels, d)
+	}
+	req := StepRequest{Instance: instance, Prod: prod}
+	if s.journal != nil {
+		if err := s.journal.Append(req); err != nil {
+			s.failed = fmt.Errorf("live: journaling step %d: %w", step.Index, err)
+			return 0, s.failed
+		}
+	}
+	s.steps = append(s.steps, req)
+	s.publishLocked()
+	return uint64(len(s.steps)), nil
+}
+
+// Feed drains step requests from the channel into the session until the
+// channel closes (returns nil), the context is canceled (ErrCanceled), or a
+// step fails (the apply error). It is the producer half of a streaming
+// ingestion pipeline; multiple Feed calls and direct Apply calls may run
+// concurrently.
+func (s *Session) Feed(ctx context.Context, reqs <-chan StepRequest) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("live: feed canceled at epoch %d: %w (%v)", s.Epoch(), faults.ErrCanceled, context.Cause(ctx))
+		case req, ok := <-reqs:
+			if !ok {
+				return nil
+			}
+			if _, err := s.Apply(req.Instance, req.Prod); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Current returns the session's latest published prefix: one atomic load,
+// never blocking producers. The returned Prefix is immutable; hold it to
+// answer a whole batch of queries against one consistent epoch.
+func (s *Session) Current() *Prefix { return s.cur.Load() }
+
+// Epoch returns the latest published epoch (the number of derivation steps
+// visible to readers).
+func (s *Session) Epoch() uint64 { return s.Current().Epoch() }
+
+// Items returns the number of labeled data items at the latest epoch.
+func (s *Session) Items() int { return s.Current().Items() }
+
+// Label returns the label of the data item at the latest epoch.
+func (s *Session) Label(itemID int) (*core.DataLabel, bool) {
+	return s.Current().Label(itemID)
+}
+
+// Scheme returns the labeling scheme the session labels with.
+func (s *Session) Scheme() *core.Scheme { return s.scheme }
+
+// Frontier returns the IDs of the unexpanded composite instances — the
+// steps a producer may apply next. It reflects every applied step, including
+// ones a concurrent producer applied after the latest Current() load.
+func (s *Session) Frontier() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run.Frontier()
+}
+
+// IsComplete reports whether every composite instance has been expanded.
+func (s *Session) IsComplete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run.IsComplete()
+}
+
+// Expandable returns the 1-based indices of the productions that can expand
+// the given instance — the valid Prod values of a StepRequest for it. It
+// returns nil when the instance is unknown, already expanded, or atomic, so
+// producers can drive a run knowing only frontier IDs.
+func (s *Session) Expandable(instanceID int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.run.Instance(instanceID)
+	if !ok || inst.Prod != 0 {
+		return nil
+	}
+	return s.scheme.Spec.Grammar.ProductionsFor(inst.Module)
+}
+
+// Err returns the error that poisoned the session, or nil.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Prefix is an immutable snapshot of a session at one epoch: the labels of
+// every data item produced by the first Epoch() derivation steps. It answers
+// label lookups lock-free and implements the label-resolution interface of
+// the engine's session-aware batch path (engine.LabelSource).
+type Prefix struct {
+	epoch  uint64
+	labels []*core.DataLabel
+	steps  []StepRequest
+}
+
+// Epoch returns the number of derivation steps this prefix covers.
+func (p *Prefix) Epoch() uint64 { return p.epoch }
+
+// Items returns the number of data items labeled at this prefix.
+func (p *Prefix) Items() int { return len(p.labels) }
+
+// Label returns the label of the data item, or false when the item had not
+// been produced by this prefix (or the ID is unknown).
+func (p *Prefix) Label(itemID int) (*core.DataLabel, bool) {
+	if itemID < 1 || itemID > len(p.labels) {
+		return nil, false
+	}
+	return p.labels[itemID-1], true
+}
+
+// Steps returns a copy of the step requests the prefix covers, in
+// application order — the journal of the prefix as values.
+func (p *Prefix) Steps() []StepRequest {
+	return append([]StepRequest(nil), p.steps...)
+}
+
+// WriteJournal exports the prefix's steps in the journal format, so the
+// session can be rebuilt up to exactly this epoch with Resume.
+func (p *Prefix) WriteJournal(w io.Writer) error {
+	jw, err := NewJournalWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, req := range p.steps {
+		if err := jw.Append(req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
