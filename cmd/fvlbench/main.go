@@ -20,7 +20,11 @@
 // measuring per-step label latency and mid-run vs post-run query throughput
 // (-parallel caps its sweep too). The snapshot experiment loads a label
 // snapshot written by wflabel -snapshot and differentially verifies it
-// against freshly built labels; without -load it is skipped.
+// against freshly built labels; without -load it is skipped. The recovery
+// experiment ingests one run into durable session directories at several
+// checkpoint intervals and measures resume latency against the replayed
+// journal tail; -sessiondir additionally measures an existing directory
+// (written by wflabel -session).
 //
 // -json measures the system's representative hot paths under testing.B and
 // writes machine-readable records — experiment, ns/op, allocs/op, bytes/op —
@@ -48,6 +52,7 @@ func main() {
 	queries := flag.Int("queries", 0, "override the number of sample queries per measurement")
 	parallel := flag.Int("parallel", 0, "largest worker count of the engine experiment's sweep (0 = GOMAXPROCS)")
 	load := flag.String("load", "", "label snapshot (from wflabel -snapshot) for the snapshot experiment")
+	sessionDir := flag.String("sessiondir", "", "durable session directory (from wflabel -session) whose resume latency the recovery experiment also measures")
 	output := flag.String("o", "", "also write the report to this file")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark records (ns/op, allocs/op, bytes/op) to this file")
 	list := flag.Bool("list", false, "list the available experiments and exit")
@@ -75,6 +80,7 @@ func main() {
 		cfg.Workers = *parallel
 	}
 	cfg.SnapshotPath = *load
+	cfg.SessionDir = *sessionDir
 
 	// -json alone runs only the machine-readable benchmarks; combined with
 	// an explicit -experiments or -o it runs both. flag.Visit distinguishes

@@ -74,9 +74,12 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := spec.WriteJSON(f); err != nil {
+			f.Close()
 			log.Fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("wrote specification to %s\n", *export)
 	}
 

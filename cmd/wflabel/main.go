@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,8 @@ func main() {
 	showLabels := flag.Bool("labels", false, "print every data label")
 	stats := flag.Bool("stats", false, "print label length statistics")
 	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or fvl.OpenSnapshot)")
+	session := flag.String("session", "", "drive the derivation through a crash-durable session in this directory (resumed if it already holds one); -query is answered by the live session")
+	checkpoint := flag.Int("checkpoint", 0, "with -session: checkpoint every N steps (0 checkpoints once, at the end)")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -79,18 +82,66 @@ func main() {
 		v.Name(), v.ExpandableModules(), (vl.SizeBits()+7)/8, vl.Variant())
 
 	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			log.Fatalf("writing snapshot: %v", err)
-		}
-		if err := labeler.Snapshot(f); err != nil {
-			f.Close()
-			log.Fatalf("writing snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: a crash mid-snapshot must not leave a truncated file
+		// where a good snapshot may already sit.
+		if err := labeler.SnapshotFile(*snapshot); err != nil {
 			log.Fatalf("writing snapshot: %v", err)
 		}
 		fmt.Printf("wrote label snapshot for view %q (%s variant) to %s\n", v.Name(), vl.Variant(), *snapshot)
+	}
+
+	// -session replays the derivation through a crash-durable session: every
+	// step is journaled in the directory before it becomes visible, and the
+	// same invocation resumes a directory an earlier (possibly crashed) run
+	// left behind — the steps are deterministic in -seed, so the journal and
+	// the script agree.
+	var sess *fvl.DurableSession
+	if *session != "" {
+		svc, err := fvl.Open(ctx, spec, []*fvl.View{v}, fvl.WithVariant(variant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err = svc.ResumeDurable(*session)
+		if errors.Is(err, os.ErrNotExist) {
+			sess, err = svc.OpenDurable(*session)
+		}
+		if err != nil {
+			log.Fatalf("session %s: %v", *session, err)
+		}
+		if info := sess.Recovery(); info != nil {
+			torn := ""
+			if info.TornTruncated {
+				torn = ", torn tail truncated"
+			}
+			fmt.Printf("resumed session %s at epoch %d (checkpoint %d, replayed %d steps%s)\n",
+				*session, sess.Epoch(), info.CheckpointStep, info.ReplayedSteps, torn)
+		}
+		steps := r.StepLog()
+		start := int(sess.Epoch())
+		if start > len(steps) {
+			log.Fatalf("session %s is at epoch %d but the -size %d run has only %d steps; rerun with the original flags",
+				*session, start, *size, len(steps))
+		}
+		for i, req := range steps[start:] {
+			if _, err := sess.Apply(req.Instance, req.Production); err != nil {
+				log.Fatalf("session step %d: %v (was the session created with different flags?)", start+i+1, err)
+			}
+			if *checkpoint > 0 && (start+i+1)%*checkpoint == 0 {
+				if err := sess.Checkpoint(); err != nil {
+					log.Fatalf("checkpoint at step %d: %v", start+i+1, err)
+				}
+			}
+		}
+		if err := sess.Checkpoint(); err != nil {
+			log.Fatalf("final checkpoint: %v", err)
+		}
+		fmt.Printf("session %s: epoch %d, %d items, checkpointed at %d\n",
+			*session, sess.Epoch(), sess.Items(), sess.LastCheckpoint())
+		defer func() {
+			if err := sess.Close(); err != nil {
+				log.Fatalf("closing session: %v", err)
+			}
+		}()
 	}
 
 	if *showLabels {
@@ -128,14 +179,23 @@ func main() {
 		if err1 != nil || err2 != nil {
 			log.Fatalf("-query wants numeric data item IDs, got %q", *query)
 		}
-		l1, ok1 := labels.Label(d1)
-		l2, ok2 := labels.Label(d2)
-		if !ok1 || !ok2 {
-			log.Fatalf("the run has no data item %d or %d (items are numbered 1..%d)", d1, d2, r.Size())
-		}
-		ans, err := vl.DependsOn(l1, l2)
-		if err != nil {
-			log.Fatalf("query failed: %v", err)
+		var ans bool
+		if sess != nil {
+			// The durable session answers over its own recovered labels.
+			ans, err = sess.DependsOn(ctx, v.Name(), d1, d2)
+			if err != nil {
+				log.Fatalf("query failed: %v", err)
+			}
+		} else {
+			l1, ok1 := labels.Label(d1)
+			l2, ok2 := labels.Label(d2)
+			if !ok1 || !ok2 {
+				log.Fatalf("the run has no data item %d or %d (items are numbered 1..%d)", d1, d2, r.Size())
+			}
+			ans, err = vl.DependsOn(l1, l2)
+			if err != nil {
+				log.Fatalf("query failed: %v", err)
+			}
 		}
 		fmt.Printf("\ndoes d%d depend on d%d under view %q?  %v\n", d2, d1, v.Name(), ans)
 

@@ -1,0 +1,134 @@
+package fvl
+
+import (
+	"repro/internal/durable"
+)
+
+// SyncOnCheckpoint as the WithSyncEvery argument defers fsync to segment
+// rotation, checkpoints and Close — the fastest and least durable policy: a
+// crash can lose every step since the last of those events.
+const SyncOnCheckpoint = durable.SyncOnCheckpoint
+
+// DurableOption configures a durable session directory.
+type DurableOption func(*durableOptions)
+
+type durableOptions struct {
+	segmentSteps int
+	syncEvery    int
+	strict       bool
+}
+
+// WithSegmentSteps sets the journal segment capacity in derivation steps
+// (default 1024). Smaller segments mean finer-grained compaction after a
+// checkpoint; the value is fixed at OpenDurable and recorded in the session
+// directory, so ResumeDurable ignores this option.
+func WithSegmentSteps(n int) DurableOption {
+	return func(o *durableOptions) { o.segmentSteps = n }
+}
+
+// WithSyncEvery sets the fsync policy: the journal is synced after every n
+// applied steps. The default 1 syncs every step — an acknowledged step is
+// never lost; larger values trade a bounded window of recent steps for
+// throughput, and SyncOnCheckpoint syncs only at rotation, checkpoints and
+// Close.
+func WithSyncEvery(n int) DurableOption {
+	return func(o *durableOptions) { o.syncEvery = n }
+}
+
+// WithStrictRecovery makes ResumeDurable refuse a torn trailing journal
+// record (ErrTornJournal) instead of truncating it. A torn tail is the
+// normal signature of a crash mid-append; strict mode is for callers that
+// would rather inspect the directory than silently drop the partial step.
+func WithStrictRecovery() DurableOption {
+	return func(o *durableOptions) { o.strict = true }
+}
+
+func durableOpts(opts []DurableOption) durable.Options {
+	var o durableOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return durable.Options{SegmentSteps: o.segmentSteps, SyncEvery: o.syncEvery, Strict: o.strict}
+}
+
+// RecoveryInfo reports what ResumeDurable did.
+type RecoveryInfo struct {
+	// CheckpointStep is the epoch of the checkpoint recovery started from
+	// (zero when the session had none).
+	CheckpointStep int
+	// ReplayedSteps is the number of journal steps replayed past the
+	// checkpoint — recovery cost is proportional to this tail, not the run.
+	ReplayedSteps int
+	// TornTruncated reports that a torn trailing record was discarded.
+	TornTruncated bool
+}
+
+// DurableSession is a live session whose state survives a process crash: it
+// embeds a Session — producers and readers use the exact same API — and adds
+// a session directory holding a journal of every applied step plus optional
+// checkpoints. Every step is on disk before it becomes visible to readers
+// (under the WithSyncEvery policy); Checkpoint bounds how much journal a
+// later ResumeDurable must replay.
+type DurableSession struct {
+	*Session
+	ds *durable.Session
+}
+
+// OpenDurable starts a new durable live session in dir, which is created if
+// missing and must not already hold a session (resume one with
+// ResumeDurable). The session serves queries exactly like OpenLive; its
+// steps additionally land in the directory's journal before publication.
+func (s *Service) OpenDurable(dir string, opts ...DurableOption) (*DurableSession, error) {
+	ds, err := durable.Create(s.scheme, dir, durableOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &DurableSession{Session: &Session{svc: s, ls: ds.Live()}, ds: ds}, nil
+}
+
+// ResumeDurable reopens a session directory after a crash or a clean close:
+// it loads the latest checkpoint, replays the journal tail past it, truncates
+// at most one torn trailing record (unless WithStrictRecovery), and returns
+// the session ready to append more steps. The directory is untrusted input —
+// structural damage is classified by ErrCorruptManifest,
+// ErrCorruptCheckpoint, ErrCorruptJournal, ErrTornJournal, ErrInvalidStep
+// and ErrForeignLabel.
+func (s *Service) ResumeDurable(dir string, opts ...DurableOption) (*DurableSession, error) {
+	ds, err := durable.Recover(s.scheme, dir, durableOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &DurableSession{Session: &Session{svc: s, ls: ds.Live()}, ds: ds}, nil
+}
+
+// Dir returns the session directory.
+func (d *DurableSession) Dir() string { return d.ds.Dir() }
+
+// Checkpoint persists the session's full state at the current epoch and
+// compacts the journal segments it covers. Producers are paused for the
+// duration; readers are not. After a checkpoint, ResumeDurable replays only
+// the steps applied since it.
+func (d *DurableSession) Checkpoint() error { return d.ds.Checkpoint() }
+
+// LastCheckpoint returns the epoch of the latest durable checkpoint (zero if
+// none).
+func (d *DurableSession) LastCheckpoint() int { return d.ds.LastCheckpoint() }
+
+// Recovery reports what ResumeDurable did, or nil for a session opened by
+// OpenDurable.
+func (d *DurableSession) Recovery() *RecoveryInfo {
+	info := d.ds.Recovery()
+	if info == nil {
+		return nil
+	}
+	return &RecoveryInfo{
+		CheckpointStep: info.CheckpointStep,
+		ReplayedSteps:  info.ReplayedSteps,
+		TornTruncated:  info.TornTruncated,
+	}
+}
+
+// Close syncs and closes the session's journal. The directory stays fully
+// recoverable — Close never checkpoints; call Checkpoint first to make the
+// next ResumeDurable cheap.
+func (d *DurableSession) Close() error { return d.ds.Close() }

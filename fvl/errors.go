@@ -54,4 +54,22 @@ var (
 	// ErrCorruptJournal: a step journal failed validation (bad magic, a
 	// truncated or non-canonical varint, or an out-of-range value).
 	ErrCorruptJournal = faults.ErrCorruptJournal
+
+	// ErrTornJournal: a step journal ends mid-record — the signature of a
+	// crash during an append. Torn journals also match ErrCorruptJournal;
+	// ResumeDurable truncates the torn tail unless WithStrictRecovery.
+	ErrTornJournal = faults.ErrTornJournal
+
+	// ErrCorruptManifest: a durable session directory's MANIFEST failed
+	// validation, so the directory cannot be interpreted at all.
+	ErrCorruptManifest = faults.ErrCorruptManifest
+
+	// ErrCorruptCheckpoint: the checkpoint a durable session's manifest
+	// names is missing or failed a structural check on load.
+	ErrCorruptCheckpoint = faults.ErrCorruptCheckpoint
+
+	// ErrInvalidStep: a journal record decoded cleanly but does not apply to
+	// the specification on replay — the journal belongs to a different run
+	// or was damaged without tripping the structural checks.
+	ErrInvalidStep = faults.ErrInvalidStep
 )

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/fvl"
 )
@@ -176,4 +177,60 @@ func ExampleService_OpenLive() {
 	// mid-run: epoch 1, 5 items, item 3 depends on input: true
 	// mid-run: item 6: true
 	// done: epoch 3, complete true, item 6 depends on input: true
+}
+
+// ExampleService_OpenDurable runs a live session whose steps land on disk,
+// checkpoints it, and resumes it as a new process would after a crash.
+func ExampleService_OpenDurable() {
+	spec := tinySpec()
+	svc, err := fvl.Open(context.Background(), spec, []*fvl.View{spec.DefaultView()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "fvl-durable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Every applied step is journaled in dir before readers see it; the
+	// checkpoint bounds how much journal a resume must replay.
+	sess, err := svc.OpenDurable(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Apply(0, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Apply(2, 2); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A new process resumes the directory: the checkpoint restores epoch 1,
+	// the journal tail replays the one step after it.
+	resumed, err := svc.ResumeDurable(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := resumed.Recovery()
+	fmt.Printf("resumed: epoch %d from checkpoint %d, replayed %d\n",
+		resumed.Epoch(), info.CheckpointStep, info.ReplayedSteps)
+
+	// The session picks up where the crash left off.
+	if _, err := resumed.Apply(5, 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: epoch %d, complete %v\n", resumed.Epoch(), resumed.IsComplete())
+	if err := resumed.Close(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// resumed: epoch 2 from checkpoint 1, replayed 1
+	// done: epoch 3, complete true
 }

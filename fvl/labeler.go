@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 
 	"repro/internal/core"
@@ -251,6 +252,16 @@ func (l *Labeler) Snapshot(w io.Writer) error {
 		return err
 	}
 	return labelstore.Save(w, l.scheme, labels)
+}
+
+// SnapshotFile persists the labeler's snapshot to a file, atomically: the
+// snapshot is written to a temp file in the target directory, fsynced, and
+// renamed into place, so a crash mid-write never leaves a truncated snapshot
+// at path.
+func (l *Labeler) SnapshotFile(path string) error {
+	return labelstore.WriteFileAtomic(path, func(f *os.File) error {
+		return l.Snapshot(f)
+	})
 }
 
 // dedupeByView keeps one label per view (first occurrence wins; relabelings

@@ -42,6 +42,17 @@ func (r *Run) Steps() int { return len(r.r.Steps) }
 // Frontier returns the IDs of the unexpanded composite module instances.
 func (r *Run) Frontier() []int { return r.r.Frontier() }
 
+// StepLog returns the derivation steps applied so far, in order, as step
+// requests replayable against a live or durable session over the same
+// specification.
+func (r *Run) StepLog() []StepRequest {
+	out := make([]StepRequest, len(r.r.Steps))
+	for i, st := range r.r.Steps {
+		out[i] = StepRequest{Instance: st.Instance, Production: st.Prod}
+	}
+	return out
+}
+
 // Item describes one data item of the run. Producer and Consumer are port
 // instance IDs; initial inputs have Producer == -1, final outputs have
 // Consumer == -1.

@@ -211,15 +211,12 @@ func (s *Service) Snapshot(w io.Writer) error {
 	return labelstore.Save(w, s.scheme, labels)
 }
 
-// SnapshotFile persists the service's labels to a file.
+// SnapshotFile persists the service's labels to a file, atomically: the
+// snapshot is written to a temp file in the target directory, fsynced, and
+// renamed into place, so a crash mid-write never leaves a truncated snapshot
+// at path.
 func (s *Service) SnapshotFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.Snapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return labelstore.WriteFileAtomic(path, func(f *os.File) error {
+		return s.Snapshot(f)
+	})
 }

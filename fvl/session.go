@@ -83,14 +83,18 @@ func (s *Service) ResumeLive(journal io.Reader, opts ...LiveOption) (*Session, e
 	return &Session{svc: s, ls: ls}, nil
 }
 
-// ResumeLiveFile rebuilds a live session from a journal file.
+// ResumeLiveFile rebuilds a live session from a journal file. A close error
+// is propagated, not swallowed: on some filesystems it is the first sign the
+// journal bytes never all made it to disk.
 func (s *Service) ResumeLiveFile(path string, opts ...LiveOption) (*Session, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	sess, err := s.ResumeLive(f, opts...)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fvl: journal %s: %w", path, err)
 	}

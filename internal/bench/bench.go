@@ -44,6 +44,10 @@ type Config struct {
 	// SnapshotPath points the snapshot experiment at a label snapshot
 	// written by wflabel -snapshot; empty skips the experiment.
 	SnapshotPath string
+	// SessionDir points the recovery experiment at an existing durable
+	// session directory (written by wflabel -session); empty measures only
+	// the synthesized checkpoint-interval sweep.
+	SessionDir string
 }
 
 // DefaultConfig reproduces the paper's experimental scale.
@@ -146,6 +150,7 @@ func All() []Experiment {
 		{"engine", "Batch query throughput and parallel multi-view labeling vs worker count", EngineThroughput},
 		{"live", "Per-step label latency and query throughput during live ingestion", LiveServing},
 		{"snapshot", "Loaded label snapshot vs freshly built labels, differential (needs -load)", SnapshotServing},
+		{"recovery", "Durable session resume latency vs checkpoint interval", Recovery},
 	}
 }
 

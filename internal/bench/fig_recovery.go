@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Recovery is not a figure of the paper: it measures the durability layer's
+// core promise — that resuming a crashed or closed session costs the journal
+// tail past the last checkpoint, not the whole run. One recorded derivation
+// is ingested into a durable session once per checkpoint interval (from
+// "never checkpoint" down to tight intervals), and each resulting directory
+// is recovered repeatedly; the table reports the replayed tail and the
+// average resume latency side by side. Resume latency should track the
+// replayed step count, and the per-replayed-step cost should stay roughly
+// constant across intervals.
+func Recovery(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	recorded, err := workloads.RandomRun(spec, workloads.RunOptions{
+		TargetSize: cfg.MultiViewRunSize,
+		Rand:       newRand(cfg.Seed + 2500),
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]live.StepRequest, len(recorded.Steps))
+	for i, st := range recorded.Steps {
+		steps[i] = live.StepRequest{Instance: st.Instance, Prod: st.Prod}
+	}
+	n := len(steps)
+	// Checkpoint intervals from coarse to tight; 0 means never, so the whole
+	// journal replays.
+	intervals := []int{0, n, (n + 3) / 4, (n + 15) / 16}
+
+	samples := cfg.SamplesPerPoint
+	if samples < 1 {
+		samples = 1
+	}
+
+	base, err := os.MkdirTemp("", "fvl-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	t := &Table{
+		Name:  "recovery",
+		Title: fmt.Sprintf("Durable session resume latency vs checkpoint interval (%d-step run, %d samples)", n, samples),
+		Columns: []string{
+			"ckpt every", "checkpoints", "replayed steps", "resume (ms)", "per replayed step (us)",
+		},
+		Notes: "resume latency should track the replayed tail, not the run; checkpoints trade ingest-time work for recovery time",
+	}
+
+	for idx, interval := range intervals {
+		dir := filepath.Join(base, fmt.Sprintf("sess-%d", idx))
+		s, err := durable.Create(scheme, dir, durable.Options{SyncEvery: durable.SyncOnCheckpoint})
+		if err != nil {
+			return nil, err
+		}
+		ckpts := 0
+		for i, req := range steps {
+			if _, err := s.Live().Apply(req.Instance, req.Prod); err != nil {
+				return nil, err
+			}
+			if interval > 0 && (i+1)%interval == 0 {
+				if err := s.Checkpoint(); err != nil {
+					return nil, err
+				}
+				ckpts++
+			}
+		}
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+
+		var total time.Duration
+		replayed := 0
+		for k := 0; k < samples; k++ {
+			start := time.Now()
+			r, err := durable.Recover(scheme, dir, durable.Options{})
+			if err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+			replayed = r.Recovery().ReplayedSteps
+			if err := r.Close(); err != nil {
+				return nil, err
+			}
+		}
+		avg := total / time.Duration(samples)
+		perStep := time.Duration(0)
+		if replayed > 0 {
+			perStep = avg / time.Duration(replayed)
+		}
+		label := "never"
+		if interval > 0 {
+			label = fmtCount(interval)
+		}
+		t.Rows = append(t.Rows, []string{
+			label, fmtCount(ckpts), fmtCount(replayed), fmtMs(avg), fmtUs(perStep),
+		})
+	}
+
+	// An existing session directory (fvlbench -sessiondir, e.g. one written
+	// by wflabel -session) gets one extra row: its own resume latency. The
+	// directory records which workload it belongs to only implicitly, so the
+	// bundled schemes are tried until one fits.
+	if cfg.SessionDir != "" {
+		row, err := resumeExisting(cfg.SessionDir, samples)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// resumeExisting measures the resume latency of a session directory created
+// outside the harness, trying each bundled workload's scheme until one
+// matches its checkpoint.
+func resumeExisting(dir string, samples int) ([]string, error) {
+	specs := []struct {
+		name string
+		spec func() *workflow.Specification
+	}{
+		{"paper", workloads.PaperExample},
+		{"bioaid", workloads.BioAID},
+		{"figure10", workloads.Figure10Example},
+	}
+	var lastErr error
+	for _, w := range specs {
+		scheme, err := core.NewScheme(w.spec())
+		if err != nil {
+			continue
+		}
+		var total time.Duration
+		replayed, ok := 0, true
+		for k := 0; k < samples; k++ {
+			start := time.Now()
+			r, err := durable.Recover(scheme, dir, durable.Options{})
+			if err != nil {
+				if errors.Is(err, faults.ErrForeignLabel) || errors.Is(err, faults.ErrInvalidStep) {
+					ok, lastErr = false, err
+					break
+				}
+				return nil, err
+			}
+			total += time.Since(start)
+			replayed = r.Recovery().ReplayedSteps
+			if err := r.Close(); err != nil {
+				return nil, err
+			}
+		}
+		if !ok {
+			continue
+		}
+		avg := total / time.Duration(samples)
+		perStep := time.Duration(0)
+		if replayed > 0 {
+			perStep = avg / time.Duration(replayed)
+		}
+		return []string{
+			fmt.Sprintf("%s (%s)", filepath.Base(dir), w.name),
+			"-", fmtCount(replayed), fmtMs(avg), fmtUs(perStep),
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: session %s matches no bundled workload: %w", dir, lastErr)
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/drl"
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/workloads"
 )
@@ -148,6 +151,44 @@ func Records(cfg Config) ([]Record, error) {
 				if results[j].Err != nil {
 					b.Fatal(results[j].Err)
 				}
+			}
+		}
+	}))
+
+	// Durable session recovery: resume a checkpointed session whose journal
+	// tail is half the run — the path a restarting process pays.
+	dir, err := os.MkdirTemp("", "fvl-bench-durable")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	sessDir := filepath.Join(dir, "sess")
+	ds, err := durable.Create(scheme, sessDir, durable.Options{SyncEvery: durable.SyncOnCheckpoint})
+	if err != nil {
+		return nil, err
+	}
+	half := len(r.Steps) / 2
+	for i, st := range r.Steps {
+		if _, err := ds.Live().Apply(st.Instance, st.Prod); err != nil {
+			return nil, err
+		}
+		if i+1 == half {
+			if err := ds.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ds.Close(); err != nil {
+		return nil, err
+	}
+	out = append(out, record(fmt.Sprintf("durable/resume/tail-%d", len(r.Steps)-half), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := durable.Recover(scheme, sessDir, durable.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rec.Close(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}))

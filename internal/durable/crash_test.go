@@ -1,0 +1,219 @@
+package durable_test
+
+import (
+	"bytes"
+	"errors"
+	iofs "io/fs"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/iofault"
+	"repro/internal/live"
+)
+
+// The crash matrix: one scripted session is run on the fault-injecting
+// filesystem with a crash armed at every single mutating operation the
+// scenario performs, times three torn-tail modes, times three sync policies.
+// After every crash, recovery must succeed and land on a consistent prefix of
+// the script whose labels are byte-identical to batch labeling — and it must
+// get there by replaying only the journal tail past the checkpoint, asserted
+// by step count.
+
+const (
+	crashDir       = "sess"
+	crashSegSteps  = 4
+	crashCkptEvery = 7
+)
+
+// runScenario drives the scripted session on fs until the first failure:
+// create, apply every step with a checkpoint every crashCkptEvery steps,
+// close. It reports how many steps were applied successfully and the epoch of
+// the last checkpoint whose Checkpoint call returned success — both lower
+// bounds on what recovery may find, since durability can outrun the return
+// path (a crash between the manifest commit and the end of compaction fails
+// the call after the checkpoint is already durable).
+func runScenario(fs *iofault.FS, scheme *core.Scheme, steps []live.StepRequest, syncEvery int) (applied, lastCkpt int) {
+	s, err := durable.Create(scheme, crashDir, durable.Options{
+		SegmentSteps: crashSegSteps, SyncEvery: syncEvery, FS: fs,
+	})
+	if err != nil {
+		return
+	}
+	for i, req := range steps {
+		if _, err := s.Live().Apply(req.Instance, req.Prod); err != nil {
+			return
+		}
+		applied++
+		if (i+1)%crashCkptEvery == 0 {
+			if err := s.Checkpoint(); err != nil {
+				return
+			}
+			lastCkpt = applied
+		}
+	}
+	s.Close()
+	return
+}
+
+func TestCrashMatrix(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 30, 11)
+	modes := []struct {
+		name string
+		mode iofault.Mode
+	}{
+		{"KeepNone", iofault.KeepNone},
+		{"KeepHalf", iofault.KeepHalf},
+		{"KeepAllButOne", iofault.KeepAllButOne},
+	}
+	for _, syncEvery := range []int{1, 3, durable.SyncOnCheckpoint} {
+		// A dry run sizes the matrix: the op sequence depends only on the
+		// sync policy, never on the torn-tail mode (that only shapes Reboot).
+		dry := iofault.New(iofault.KeepNone)
+		applied, _ := runScenario(dry, scheme, steps, syncEvery)
+		if dry.Crashed() || applied != len(steps) {
+			t.Fatalf("sync %d: dry run crashed or fell short (%d/%d steps)", syncEvery, applied, len(steps))
+		}
+		total := dry.Ops()
+		for _, m := range modes {
+			for p := 1; p <= total; p++ {
+				crashPoint(t, scheme, steps, syncEvery, m.mode, m.name, p)
+			}
+		}
+	}
+}
+
+// crashPoint runs the scenario with a crash armed at mutating operation p,
+// reboots, and checks every recovery invariant.
+func crashPoint(t *testing.T, scheme *core.Scheme, steps []live.StepRequest, syncEvery int, mode iofault.Mode, modeName string, p int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("sync %d, %s, crash at op %d: "+format,
+			append([]any{syncEvery, modeName, p}, args...)...)
+	}
+
+	fs := iofault.New(mode)
+	fs.CrashAfter(p)
+	applied, lastCkpt := runScenario(fs, scheme, steps, syncEvery)
+	if !fs.Crashed() {
+		fail("crash never fired (only %d ops)", fs.Ops())
+	}
+	fs.Reboot()
+
+	s, err := durable.Recover(scheme, crashDir, durable.Options{SyncEvery: syncEvery, FS: fs})
+	if err != nil {
+		// The only legal failure: the crash predates the manifest commit in
+		// Create, so no session ever durably existed — and then no step can
+		// have been applied either.
+		if errors.Is(err, iofs.ErrNotExist) && applied == 0 {
+			return
+		}
+		fail("recovery failed (applied %d): %v", applied, err)
+	}
+	info := s.Recovery()
+	epoch := int(s.Live().Epoch())
+
+	// The recovered prefix sits between the last committed checkpoint and
+	// what the producer saw applied; with every step fsynced and no torn
+	// bytes kept, nothing at all may be lost.
+	if lastCkpt > info.CheckpointStep {
+		fail("recovered checkpoint %d older than acked checkpoint %d", info.CheckpointStep, lastCkpt)
+	}
+	if info.CheckpointStep > epoch || epoch > applied {
+		fail("epoch %d outside [checkpoint %d, applied %d]", epoch, info.CheckpointStep, applied)
+	}
+	if syncEvery == 1 && mode == iofault.KeepNone && epoch != applied {
+		fail("lost acked steps: epoch %d, applied %d", epoch, applied)
+	}
+
+	// Tail-only replay, asserted by step count.
+	if info.ReplayedSteps != epoch-info.CheckpointStep {
+		fail("replayed %d steps for a tail of %d", info.ReplayedSteps, epoch-info.CheckpointStep)
+	}
+
+	// The recovered steps are exactly the script prefix, and the labels are
+	// byte-identical to batch labeling of that prefix.
+	got := s.Live().Current().Steps()
+	if len(got) != epoch {
+		fail("prefix carries %d steps at epoch %d", len(got), epoch)
+	}
+	for i, req := range got {
+		if req != steps[i] {
+			fail("recovered step %d is %+v, want %+v", i+1, req, steps[i])
+		}
+	}
+	checkLabels(t, scheme, s, steps)
+
+	// The session is live again: finish the run and re-verify.
+	applyRange(t, s, steps, epoch, len(steps))
+	checkLabels(t, scheme, s, steps)
+	if err := s.Close(); err != nil {
+		fail("closing recovered session: %v", err)
+	}
+}
+
+// TestIofaultWriter covers the plain io.Writer fault wrapper against the
+// journal writer: a failed or short append surfaces the injected error, the
+// complete prefix still decodes, and a short write reads back as a torn tail.
+func TestIofaultWriter(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 20, 12)
+
+	for _, short := range []bool{false, true} {
+		var buf bytes.Buffer
+		w := &iofault.Writer{W: &buf, FailAt: 5, Short: short}
+		jw, err := live.NewJournalWriter(w) // write 1 is the header
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, req := range steps {
+			if err := jw.Append(req); err != nil {
+				if !errors.Is(err, iofault.ErrInjected) {
+					t.Fatalf("short=%v: append failed with %v, want ErrInjected", short, err)
+				}
+				break
+			}
+			n++
+		}
+		if n != 3 {
+			t.Fatalf("short=%v: %d appends succeeded before the injected fault, want 3", short, n)
+		}
+		if short {
+			jr, err := live.NewJournalReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := 0
+			var rerr error
+			for {
+				var req live.StepRequest
+				req, rerr = jr.Next()
+				if rerr != nil {
+					break
+				}
+				if req != steps[k] {
+					t.Fatalf("short=true: record %d is %+v, want %+v", k+1, req, steps[k])
+				}
+				k++
+			}
+			if k != n {
+				t.Fatalf("short=true: %d records decode, want %d", k, n)
+			}
+			if !errors.Is(rerr, faults.ErrTornJournal) {
+				t.Fatalf("short=true: tail classified as %v, want ErrTornJournal", rerr)
+			}
+			continue
+		}
+		got, err := live.ReadJournal(&buf)
+		if err != nil {
+			t.Fatalf("short=false: journal does not decode: %v", err)
+		}
+		if len(got) != n {
+			t.Fatalf("short=false: %d records decode, want %d", len(got), n)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem surface a durable session needs. Production code uses
+// DirFS (the real filesystem); the crash-matrix tests substitute a
+// fault-injecting implementation (internal/iofault) that drops unsynced
+// writes and fails operations at chosen points, which is what lets every
+// recovery invariant be tested without actually killing a process.
+//
+// All paths are passed through verbatim — the session joins its directory
+// onto names itself — and every mutating operation is expected to behave
+// like its os counterpart on POSIX: Create truncates, Rename replaces
+// atomically within a directory, and durability of creates, renames and
+// removes requires a SyncDir of the containing directory.
+type FS interface {
+	// MkdirAll creates a directory (and parents) if missing.
+	MkdirAll(path string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(name string) (File, error)
+	// Append opens an existing file for appending.
+	Append(name string) (File, error)
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// ReadDir lists the names (not paths) of the entries of a directory.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to the given size.
+	Truncate(name string, size int64) error
+	// SyncDir makes preceding creates/renames/removes in dir durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface of FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes all preceding writes durable.
+	Sync() error
+}
+
+// DirFS is the real filesystem.
+type DirFS struct{}
+
+// MkdirAll implements FS.
+func (DirFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o777) }
+
+// Create implements FS.
+func (DirFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Append implements FS.
+func (DirFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o666)
+}
+
+// Open implements FS.
+func (DirFS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadDir implements FS.
+func (DirFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// Rename implements FS.
+func (DirFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (DirFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (DirFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS.
+func (DirFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

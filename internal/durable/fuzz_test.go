@@ -1,0 +1,47 @@
+package durable_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/faults"
+)
+
+// FuzzManifestDecode asserts the manifest decoder's contract on arbitrary
+// bytes: it never panics, every rejection wraps ErrCorruptManifest, and
+// every accepted input re-encodes bit-exactly (so the accepted language is
+// exactly the encoder's image).
+func FuzzManifestDecode(f *testing.F) {
+	for _, m := range []durable.Manifest{
+		{SegmentSteps: 1},
+		{SegmentSteps: 1024},
+		{SegmentSteps: 4, HasCheckpoint: true, CheckpointStep: 17},
+		{SegmentSteps: 1 << 20, HasCheckpoint: true, CheckpointStep: 1 << 29},
+	} {
+		data, err := durable.EncodeManifest(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("FVLMANI\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := durable.DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, faults.ErrCorruptManifest) {
+				t.Fatalf("rejection not classified as ErrCorruptManifest: %v", err)
+			}
+			return
+		}
+		enc, err := durable.EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest %+v does not re-encode: %v", m, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted manifest is not bit-exact: %x -> %x", data, enc)
+		}
+	})
+}

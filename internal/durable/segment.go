@@ -1,0 +1,80 @@
+package durable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Journal segments are named seg-<base>.fvlj, where base is the number of
+// derivation steps that precede the segment's first record: record j (1-based)
+// of the segment is derivation step base+j. Checkpoints are named
+// ckpt-<step>.fvlc, where step is the epoch the checkpoint covers. Both
+// numbers are zero-padded to fixed width so lexical order is numeric order.
+
+const (
+	manifestName  = "MANIFEST"
+	segmentSuffix = ".fvlj"
+	ckptSuffix    = ".fvlc"
+	tmpSuffix     = ".tmp"
+)
+
+func segmentName(base int) string { return fmt.Sprintf("seg-%010d%s", base, segmentSuffix) }
+
+func checkpointName(step int) string { return fmt.Sprintf("ckpt-%010d%s", step, ckptSuffix) }
+
+// parseArtifactName extracts the number of a seg-/ckpt- file name; ok is
+// false for any other name (including temp files).
+func parseArtifactName(name, prefix, suffix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := name[len(prefix) : len(name)-len(suffix)]
+	if len(digits) != 10 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > maxManifestValue {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+func parseSegmentName(name string) (int, bool) { return parseArtifactName(name, "seg-", segmentSuffix) }
+
+func parseCheckpointName(name string) (int, bool) {
+	return parseArtifactName(name, "ckpt-", ckptSuffix)
+}
+
+// dirListing is the classified content of a session directory.
+type dirListing struct {
+	segments    []int // segment bases, ascending
+	checkpoints []int // checkpoint steps, ascending
+	temps       []string
+}
+
+func listDir(fs FS, dir string) (*dirListing, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &dirListing{}
+	for _, name := range names {
+		if base, ok := parseSegmentName(name); ok {
+			l.segments = append(l.segments, base)
+		} else if step, ok := parseCheckpointName(name); ok {
+			l.checkpoints = append(l.checkpoints, step)
+		} else if strings.Contains(name, tmpSuffix) {
+			l.temps = append(l.temps, name)
+		}
+	}
+	sort.Ints(l.segments)
+	sort.Ints(l.checkpoints)
+	return l, nil
+}

@@ -52,4 +52,28 @@ var (
 	// ErrCorruptJournal reports that a step journal failed validation: bad
 	// magic, a truncated or non-canonical varint, or an out-of-range value.
 	ErrCorruptJournal = errors.New("corrupt step journal")
+
+	// ErrTornJournal reports that a step journal ends in a torn (incomplete)
+	// trailing record — the signature of a crash mid-append. Errors carrying
+	// this sentinel also wrap ErrCorruptJournal, so existing corruption
+	// classification keeps working; durable recovery additionally uses it to
+	// decide whether the tail may be truncated (default) or must be refused
+	// (strict mode).
+	ErrTornJournal = errors.New("step journal ends in a torn trailing record")
+
+	// ErrCorruptManifest reports that a durable session directory's MANIFEST
+	// failed validation: bad magic, checksum mismatch, truncation, or a
+	// structurally invalid field.
+	ErrCorruptManifest = errors.New("corrupt session manifest")
+
+	// ErrCorruptCheckpoint reports that a session checkpoint artifact failed
+	// validation: bad magic, checksum mismatch, or any structural check on
+	// the persisted run and labeler state.
+	ErrCorruptCheckpoint = errors.New("corrupt session checkpoint")
+
+	// ErrInvalidStep reports a journaled step that decodes cleanly but does
+	// not apply to the specification on replay: an unknown instance, an
+	// already-expanded instance, or a production that does not expand the
+	// instance's module.
+	ErrInvalidStep = errors.New("journal step does not apply to the specification")
 )

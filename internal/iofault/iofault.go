@@ -1,0 +1,347 @@
+// Package iofault injects storage faults so crash-recovery code can be
+// tested against every failure point without killing a process.
+//
+// The centerpiece is FS, an in-memory implementation of durable.FS with
+// power-loss semantics: written bytes become durable only at File.Sync, and
+// namespace changes (creates, renames, removes) become durable only at
+// FS.SyncDir — exactly the contract the durable package's commit protocol is
+// built on. CrashAfter arms a countdown over mutating operations; when it
+// expires, the operation fails, every later operation fails too (the process
+// is "dead"), and Reboot then discards everything that was not durable —
+// optionally keeping a fraction of each file's unsynced tail, which is how
+// torn trailing records are produced. A test sweeps the countdown across the
+// whole range of operations a scenario performs and asserts recovery after
+// every single crash point: the crash matrix.
+//
+// The package also ships Writer, a minimal fault-injecting io.Writer (fail
+// the Nth write, short writes) for code that journals to a plain stream.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/durable"
+)
+
+// ErrInjected is the error every injected fault carries.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// Mode selects what survives of a file's unsynced tail at Reboot.
+type Mode int
+
+const (
+	// KeepNone drops every unsynced byte: the clean power-loss model.
+	KeepNone Mode = iota
+	// KeepHalf persists half of each file's unsynced tail (rounded down to
+	// an odd count when possible) — a torn write that usually splits a
+	// journal record.
+	KeepHalf
+	// KeepAllButOne persists the whole unsynced tail except its final byte —
+	// the smallest possible tear, guaranteed to truncate mid-record when the
+	// tail ends with one.
+	KeepAllButOne
+)
+
+// FS is the fault-injecting filesystem. Create one with New, pass it as
+// durable.Options.FS, arm a crash with CrashAfter, and call Reboot to start
+// the "next process" on whatever state survived. The zero budget (New) never
+// crashes, so a first dry run of a scenario measures its operation count via
+// Ops.
+//
+// FS is not safe for concurrent use; crash-matrix scenarios are single
+// producer by construction.
+type FS struct {
+	mode    Mode
+	budget  int // mutating ops until the crash; -1 = never
+	ops     int
+	crashed bool
+
+	vis map[string]*vfile // visible namespace (the living process's view)
+	dur map[string]*vfile // namespace as of the last SyncDir
+}
+
+// vfile is one file: data is the visible content, synced the prefix of it
+// made durable by File.Sync. The same object may be referenced by both
+// namespaces (and under a different name after an unsynced rename).
+type vfile struct {
+	data   []byte
+	synced int
+}
+
+// New returns an FS that never crashes (arm with CrashAfter).
+func New(mode Mode) *FS {
+	return &FS{mode: mode, budget: -1, vis: map[string]*vfile{}, dur: map[string]*vfile{}}
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (f *FS) Ops() int { return f.ops }
+
+// Crashed reports whether the armed crash has fired.
+func (f *FS) Crashed() bool { return f.crashed }
+
+// CrashAfter arms the countdown: the n-th mutating operation from now fails
+// with ErrInjected and the FS stays dead until Reboot.
+func (f *FS) CrashAfter(n int) { f.budget = n }
+
+// Reboot starts the next process: the visible state is rebuilt from what was
+// durable — files whose directory entry survived the last SyncDir, each with
+// its synced content plus the Mode-selected fraction of its unsynced tail —
+// and the FS accepts operations again, with no further crash armed.
+func (f *FS) Reboot() {
+	vis := map[string]*vfile{}
+	for name, old := range f.dur {
+		keep := old.synced
+		pending := len(old.data) - old.synced
+		switch f.mode {
+		case KeepHalf:
+			h := pending / 2
+			if h > 0 && h%2 == 0 {
+				h--
+			}
+			keep += h
+		case KeepAllButOne:
+			if pending > 0 {
+				keep += pending - 1
+			}
+		}
+		nf := &vfile{data: append([]byte(nil), old.data[:keep]...), synced: keep}
+		vis[name] = nf
+	}
+	f.vis = vis
+	f.dur = map[string]*vfile{}
+	for name, file := range vis {
+		f.dur[name] = file
+	}
+	f.crashed = false
+	f.budget = -1
+}
+
+// op accounts one mutating operation and fires the armed crash.
+func (f *FS) op() error {
+	if f.crashed {
+		return fmt.Errorf("operation after crash: %w", ErrInjected)
+	}
+	f.ops++
+	if f.budget > 0 {
+		f.budget--
+		if f.budget == 0 {
+			f.crashed = true
+			return fmt.Errorf("crash at operation %d: %w", f.ops, ErrInjected)
+		}
+	}
+	return nil
+}
+
+func (f *FS) alive() error {
+	if f.crashed {
+		return fmt.Errorf("operation after crash: %w", ErrInjected)
+	}
+	return nil
+}
+
+// MkdirAll implements durable.FS; directories are implicit.
+func (f *FS) MkdirAll(string) error { return f.alive() }
+
+// Create implements durable.FS.
+func (f *FS) Create(name string) (durable.File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	file := &vfile{}
+	f.vis[name] = file
+	return &handle{fs: f, name: name, file: file}, nil
+}
+
+// Append implements durable.FS.
+func (f *FS) Append(name string) (durable.File, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	file, ok := f.vis[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &handle{fs: f, name: name, file: file}, nil
+}
+
+// Open implements durable.FS.
+func (f *FS) Open(name string) (durable.File, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	file, ok := f.vis[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &handle{fs: f, name: name, file: file, readonly: true}, nil
+}
+
+// ReadDir implements durable.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	var names []string
+	for name := range f.vis {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements durable.FS. The move is visible immediately but durable
+// only after SyncDir: a crash in between reverts it.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	file, ok := f.vis[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(f.vis, oldname)
+	f.vis[newname] = file
+	return nil
+}
+
+// Remove implements durable.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	if _, ok := f.vis[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.vis, name)
+	return nil
+}
+
+// Truncate implements durable.FS.
+func (f *FS) Truncate(name string, size int64) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	file, ok := f.vis[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(file.data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fmt.Errorf("size %d out of range", size)}
+	}
+	file.data = file.data[:size]
+	if file.synced > int(size) {
+		file.synced = int(size)
+	}
+	return nil
+}
+
+// SyncDir implements durable.FS: the current namespace becomes the durable
+// one.
+func (f *FS) SyncDir(string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	f.dur = make(map[string]*vfile, len(f.vis))
+	for name, file := range f.vis {
+		f.dur[name] = file
+	}
+	return nil
+}
+
+// handle is an open file. Writes append (the only pattern the durable
+// package uses); reads walk the visible content.
+type handle struct {
+	fs       *FS
+	name     string
+	file     *vfile
+	readonly bool
+	pos      int
+	closed   bool
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	if err := h.fs.alive(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.pos >= len(h.file.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	if h.readonly {
+		return 0, fmt.Errorf("iofault: write to read-only handle %s", h.name)
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if err := h.fs.op(); err != nil {
+		return 0, err
+	}
+	h.file.data = append(h.file.data, p...)
+	return len(p), nil
+}
+
+// Sync makes the file's content durable up to its current length.
+func (h *handle) Sync() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if err := h.fs.op(); err != nil {
+		return err
+	}
+	h.file.synced = len(h.file.data)
+	return nil
+}
+
+// Close releases the handle. Closing makes nothing durable — like the real
+// thing.
+func (h *handle) Close() error {
+	if err := h.fs.alive(); err != nil {
+		return err
+	}
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// Writer is a minimal fault-injecting io.Writer for stream-journal code:
+// the FailAt-th Write call fails with ErrInjected; Short additionally lets
+// it write half the buffer before failing (a short write).
+type Writer struct {
+	W      io.Writer
+	FailAt int // 1-based Write call that fails; 0 = never
+	Short  bool
+
+	calls int
+}
+
+func (w *Writer) Write(p []byte) (int, error) {
+	w.calls++
+	if w.FailAt != 0 && w.calls >= w.FailAt {
+		if w.Short && len(p) > 1 {
+			n, err := w.W.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("short write: %w", ErrInjected)
+		}
+		return 0, fmt.Errorf("write failed: %w", ErrInjected)
+	}
+	return w.W.Write(p)
+}

@@ -1,0 +1,149 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func write(t *testing.T, f interface{ Write([]byte) (int, error) }, data string) {
+	t.Helper()
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func content(t *testing.T, fs *FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return string(data)
+}
+
+// TestRebootDurability pins the power-loss model: synced bytes of a
+// SyncDir'd file survive Reboot, unsynced bytes and un-SyncDir'd namespace
+// changes do not.
+func TestRebootDurability(t *testing.T) {
+	fs := New(KeepNone)
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, " lost") // never synced
+	f.Close()
+
+	g, err := fs.Create("d/b") // created after the SyncDir
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, g, "gone")
+	g.Sync()
+	g.Close()
+
+	fs.Reboot()
+	if got := content(t, fs, "d/a"); got != "durable" {
+		t.Fatalf("d/a reads %q after reboot, want synced prefix only", got)
+	}
+	if _, err := fs.Open("d/b"); err == nil {
+		t.Fatal("un-SyncDir'd create survived reboot")
+	}
+}
+
+// TestRebootRename pins rename semantics: an unsynced rename reverts, a
+// SyncDir'd one sticks — the property atomic file replacement is built on.
+func TestRebootRename(t *testing.T) {
+	for _, synced := range []bool{false, true} {
+		fs := New(KeepNone)
+		f, _ := fs.Create("d/x.tmp")
+		write(t, f, "new")
+		f.Sync()
+		f.Close()
+		if err := fs.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename("d/x.tmp", "d/x"); err != nil {
+			t.Fatal(err)
+		}
+		if synced {
+			if err := fs.SyncDir("d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fs.Reboot()
+		_, errX := fs.Open("d/x")
+		_, errTmp := fs.Open("d/x.tmp")
+		if synced && (errX != nil || errTmp == nil) {
+			t.Fatal("SyncDir'd rename did not survive reboot")
+		}
+		if !synced && (errX == nil || errTmp != nil) {
+			t.Fatal("unsynced rename survived reboot")
+		}
+	}
+}
+
+// TestCrashAfter pins the countdown contract: the armed op fails with
+// ErrInjected and no effect, everything after it fails too, Reboot revives.
+func TestCrashAfter(t *testing.T) {
+	fs := New(KeepNone)
+	f, _ := fs.Create("d/a")
+	f.Sync()
+	fs.SyncDir("d")
+	f.Close()
+
+	fs.CrashAfter(1)
+	if _, err := fs.Create("d/b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed op failed with %v, want ErrInjected", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash did not latch")
+	}
+	if _, err := fs.Open("d/a"); !errors.Is(err, ErrInjected) {
+		t.Fatal("reads still work after the crash")
+	}
+	fs.Reboot()
+	if _, err := fs.Open("d/a"); err != nil {
+		t.Fatalf("durable file unreadable after reboot: %v", err)
+	}
+	if _, err := fs.Open("d/b"); err == nil {
+		t.Fatal("the failed create left a file behind")
+	}
+}
+
+// TestTornModes pins how much of an unsynced tail each mode keeps.
+func TestTornModes(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want string
+	}{
+		{KeepNone, "sync"},
+		{KeepHalf, "syncabc"},        // 6 pending → half 3 (already odd)
+		{KeepAllButOne, "syncabcde"}, // 6 pending → 5
+	}
+	for _, c := range cases {
+		fs := New(c.mode)
+		f, _ := fs.Create("d/a")
+		write(t, f, "sync")
+		f.Sync()
+		fs.SyncDir("d")
+		write(t, f, "abcdef")
+		f.Close()
+		fs.Reboot()
+		if got := content(t, fs, "d/a"); got != c.want {
+			t.Fatalf("mode %d keeps %q, want %q", c.mode, got, c.want)
+		}
+	}
+}

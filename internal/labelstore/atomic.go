@@ -1,0 +1,49 @@
+package labelstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so a crash mid-write never leaves a partial
+// artifact at path: the content goes to a temporary file in the target
+// directory, is fsynced, and only then renamed over path (rename within one
+// directory is atomic on POSIX filesystems); finally the directory itself is
+// synced so the rename is durable too. On any failure the temporary file is
+// removed and path is untouched.
+func WriteFileAtomic(path string, write func(f *os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err = d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("labelstore: syncing %s after rename: %w", dir, err)
+	}
+	return d.Close()
+}

@@ -1,0 +1,204 @@
+package labelstore_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/labelstore"
+	"repro/internal/live"
+	"repro/internal/run"
+	"repro/internal/workloads"
+)
+
+// randomSteps derives a random run and returns its step sequence.
+func randomSteps(t *testing.T, scheme *core.Scheme, target int, seed int64) []live.StepRequest {
+	t.Helper()
+	r, err := workloads.RandomRun(scheme.Spec, workloads.RunOptions{
+		TargetSize: target,
+		Rand:       rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatalf("deriving random run: %v", err)
+	}
+	steps := make([]live.StepRequest, len(r.Steps))
+	for i, st := range r.Steps {
+		steps[i] = live.StepRequest{Instance: st.Instance, Prod: st.Prod}
+	}
+	return steps
+}
+
+// checkpointAt drives a fresh session through the first k steps and captures
+// a checkpoint of it.
+func checkpointAt(t *testing.T, scheme *core.Scheme, steps []live.StepRequest, k int) []byte {
+	t.Helper()
+	sess, err := live.NewSession(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := sess.Apply(steps[i].Instance, steps[i].Prod); err != nil {
+			t.Fatalf("applying step %d: %v", i+1, err)
+		}
+	}
+	var buf bytes.Buffer
+	err = sess.Exclusive(func(r *run.Run, labeler *core.RunLabeler) error {
+		return labelstore.SaveCheckpoint(&buf, scheme, r, labeler)
+	})
+	if err != nil {
+		t.Fatalf("checkpointing at step %d: %v", k, err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointRoundTrip captures a checkpoint at every prefix of a random
+// run, restores it, finishes the run from the restored session, and checks
+// the final labels are byte-identical to Scheme.LabelRun on an independently
+// derived copy of the full run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 40, 7)
+
+	full := run.New(spec)
+	for _, req := range steps {
+		if _, err := full.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := scheme.LabelRun(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := scheme.Codec()
+
+	for k := 0; k <= len(steps); k++ {
+		blob := checkpointAt(t, scheme, steps, k)
+		st, err := labelstore.LoadCheckpointBytes(blob, scheme)
+		if err != nil {
+			t.Fatalf("k=%d: LoadCheckpointBytes: %v", k, err)
+		}
+		if len(st.Steps) != k {
+			t.Fatalf("k=%d: checkpoint records %d steps", k, len(st.Steps))
+		}
+		reqs := make([]live.StepRequest, len(st.Steps))
+		for i, p := range st.Steps {
+			reqs[i] = live.StepRequest{Instance: p[0], Prod: p[1]}
+		}
+		sess, err := live.Restore(scheme, st.Run, st.Labeler, reqs)
+		if err != nil {
+			t.Fatalf("k=%d: live.Restore: %v", k, err)
+		}
+		for i := k; i < len(steps); i++ {
+			if _, err := sess.Apply(steps[i].Instance, steps[i].Prod); err != nil {
+				t.Fatalf("k=%d: continuing at step %d: %v", k, i+1, err)
+			}
+		}
+		prefix := sess.Current()
+		if got, wantN := prefix.Items(), len(full.Items); got != wantN {
+			t.Fatalf("k=%d: restored session labels %d items, want %d", k, got, wantN)
+		}
+		for id := 1; id <= len(full.Items); id++ {
+			gotL, ok := prefix.Label(id)
+			if !ok {
+				t.Fatalf("k=%d: item %d unlabeled after restore", k, id)
+			}
+			wantL, ok := want.Label(id)
+			if !ok {
+				t.Fatalf("item %d unlabeled by LabelRun", id)
+			}
+			gb, gn := codec.Encode(gotL)
+			wb, wn := codec.Encode(wantL)
+			if gn != wn || !bytes.Equal(gb, wb) {
+				t.Fatalf("k=%d: item %d label diverges from LabelRun", k, id)
+			}
+		}
+	}
+}
+
+// TestCheckpointDeterministic asserts two checkpoints of the same state are
+// byte-identical.
+func TestCheckpointDeterministic(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 30, 3)
+	k := len(steps) / 2
+	if !bytes.Equal(checkpointAt(t, scheme, steps, k), checkpointAt(t, scheme, steps, k)) {
+		t.Fatal("two checkpoints of the same state differ")
+	}
+}
+
+// TestCheckpointRejectsCorruption flips every byte of a valid checkpoint in
+// turn and requires each mutation to fail with ErrCorruptCheckpoint (or be
+// rejected as foreign — a payload flip can only land in the embedded spec),
+// never to panic or load.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 20, 11)
+	blob := checkpointAt(t, scheme, steps, len(steps)/2)
+
+	if _, err := labelstore.LoadCheckpointBytes(blob, scheme); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	stride := 1
+	if len(blob) > 512 {
+		stride = len(blob) / 512
+	}
+	for off := 0; off < len(blob); off += stride {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x40
+		_, err := labelstore.LoadCheckpointBytes(mut, scheme)
+		if err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		}
+		if !errors.Is(err, faults.ErrCorruptCheckpoint) && !errors.Is(err, faults.ErrForeignLabel) {
+			t.Fatalf("flip at offset %d: unclassified error %v", off, err)
+		}
+	}
+
+	if _, err := labelstore.LoadCheckpointBytes(blob[:15], scheme); !errors.Is(err, faults.ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint: want ErrCorruptCheckpoint, got %v", err)
+	}
+}
+
+// TestCheckpointForeignScheme loads a checkpoint against a scheme of a
+// different specification and expects ErrForeignLabel, not corruption.
+func TestCheckpointForeignScheme(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 20, 5)
+	blob := checkpointAt(t, scheme, steps, len(steps)/2)
+
+	other, err := core.NewScheme(workloads.BioAID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := labelstore.LoadCheckpointBytes(blob, other); !errors.Is(err, faults.ErrForeignLabel) {
+		t.Fatalf("foreign checkpoint: want ErrForeignLabel, got %v", err)
+	}
+	// The same artifact under the basic scheme of the same spec is foreign
+	// too: its labels were written under the compact codec.
+	basic, err := core.NewSchemeBasic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := labelstore.LoadCheckpointBytes(blob, basic); !errors.Is(err, faults.ErrForeignLabel) {
+		t.Fatalf("kind-mismatched checkpoint: want ErrForeignLabel, got %v", err)
+	}
+}

@@ -103,17 +103,12 @@ func Save(w io.Writer, scheme *core.Scheme, labels []*core.ViewLabel) error {
 	return err
 }
 
-// SaveFile writes a snapshot to a file.
+// SaveFile writes a snapshot to a file, atomically: the snapshot lands under
+// path complete or not at all (see WriteFileAtomic).
 func SaveFile(path string, scheme *core.Scheme, labels []*core.ViewLabel) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Save(f, scheme, labels); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(f *os.File) error {
+		return Save(f, scheme, labels)
+	})
 }
 
 func encodePayload(scheme *core.Scheme, labels []*core.ViewLabel) ([]byte, error) {

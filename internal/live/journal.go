@@ -1,6 +1,7 @@
 package live
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
@@ -56,6 +57,17 @@ func NewJournalWriter(w io.Writer) (*JournalWriter, error) {
 	}
 	if _, err := w.Write(journalMagic[:]); err != nil {
 		return nil, err
+	}
+	return &JournalWriter{w: w}, nil
+}
+
+// ResumeJournalWriter returns a writer that appends records to w without
+// writing a header — for continuing a journal whose header (and possibly a
+// prefix of records) is already durable, such as a recovered segment file of
+// a durable session.
+func ResumeJournalWriter(w io.Writer) (*JournalWriter, error) {
+	if w == nil {
+		return nil, fmt.Errorf("live: nil journal writer")
 	}
 	return &JournalWriter{w: w}, nil
 }
@@ -126,13 +138,142 @@ func DecodeJournal(data []byte) ([]StepRequest, error) {
 	return steps, nil
 }
 
-// ReadJournal decodes a journal from a reader (see DecodeJournal).
+// ReadJournal decodes a journal from a reader incrementally (see
+// DecodeJournal for the accepted format): the stream is consumed through a
+// buffered record decoder, so resuming a large journal never holds the whole
+// file in memory at once. Like DecodeJournal it is strict — a stream that
+// ends mid-record fails (with an error wrapping both ErrTornJournal and
+// ErrCorruptJournal); use JournalReader directly to handle torn tails.
 func ReadJournal(r io.Reader) ([]StepRequest, error) {
-	data, err := io.ReadAll(r)
+	jr, err := NewJournalReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("live: reading journal: %w", err)
+		return nil, err
 	}
-	return DecodeJournal(data)
+	var steps []StepRequest
+	for {
+		req, err := jr.Next()
+		if err == io.EOF {
+			return steps, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, req)
+	}
+}
+
+// JournalReader decodes a step journal one record at a time. It applies
+// exactly the DecodeJournal validation rules, but additionally classifies
+// where the stream ends:
+//
+//   - a stream ending at a record boundary is complete (Next returns io.EOF);
+//   - a stream ending mid-record — or mid-header — is torn, the signature of
+//     a crash mid-append: the error wraps both faults.ErrTornJournal and
+//     faults.ErrCorruptJournal, so callers that do not care about the
+//     distinction keep classifying it as corruption;
+//   - every other structural problem (bad magic, non-canonical varint,
+//     out-of-range value) wraps faults.ErrCorruptJournal only.
+//
+// Offset reports how many bytes of the stream the complete records span, so
+// a recovery path that chooses to forgive a torn tail knows exactly where to
+// truncate.
+type JournalReader struct {
+	br    *bufio.Reader
+	off   int64 // bytes consumed by the header and complete records
+	steps int   // complete records decoded
+	err   error // sticky decode failure
+}
+
+// NewJournalReader reads and validates the journal header and returns a
+// reader positioned at the first record. A stream shorter than the header is
+// torn; a full-length header with the wrong bytes is corrupt.
+func NewJournalReader(r io.Reader) (*JournalReader, error) {
+	if r == nil {
+		return nil, fmt.Errorf("live: nil journal reader")
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	n, err := io.ReadFull(br, magic[:])
+	switch {
+	case err == io.EOF || err == io.ErrUnexpectedEOF:
+		return nil, fmt.Errorf("live: journal header cut short at %d of %d bytes: %w (%w)",
+			n, len(journalMagic), faults.ErrTornJournal, faults.ErrCorruptJournal)
+	case err != nil:
+		return nil, fmt.Errorf("live: reading journal header: %w", err)
+	case magic != journalMagic:
+		return nil, fmt.Errorf("live: bad journal magic: %w", faults.ErrCorruptJournal)
+	}
+	return &JournalReader{br: br, off: int64(len(journalMagic))}, nil
+}
+
+// Next decodes one record. It returns io.EOF when the stream ends at a
+// record boundary; any other error is sticky.
+func (jr *JournalReader) Next() (StepRequest, error) {
+	if jr.err != nil {
+		return StepRequest{}, jr.err
+	}
+	instance, n1, err := jr.readValue(true)
+	if err == io.EOF {
+		return StepRequest{}, io.EOF
+	}
+	if err != nil {
+		jr.err = fmt.Errorf("live: journal record %d instance at offset %d: %w", jr.steps+1, jr.off, err)
+		return StepRequest{}, jr.err
+	}
+	prod, n2, err := jr.readValue(false)
+	if err != nil {
+		jr.err = fmt.Errorf("live: journal record %d production at offset %d: %w", jr.steps+1, jr.off+int64(n1), err)
+		return StepRequest{}, jr.err
+	}
+	jr.off += int64(n1 + n2)
+	jr.steps++
+	return StepRequest{Instance: instance, Prod: prod}, nil
+}
+
+// Steps returns the number of complete records decoded so far.
+func (jr *JournalReader) Steps() int { return jr.steps }
+
+// Offset returns the stream offset just past the last complete record (or
+// past the header, before the first record) — the truncation point that
+// discards a torn tail and nothing else.
+func (jr *JournalReader) Offset() int64 { return jr.off }
+
+// readValue decodes one bounded canonical uvarint from the buffered stream.
+// first marks the start of a record: running out of bytes there is a clean
+// io.EOF, anywhere else it is a torn record.
+func (jr *JournalReader) readValue(first bool) (int, int, error) {
+	// A varint is at most MaxVarintLen64 bytes; Peek returns fewer only when
+	// the stream ends (or errors) first.
+	buf, peekErr := jr.br.Peek(binary.MaxVarintLen64)
+	if len(buf) == 0 {
+		if peekErr == nil || peekErr == io.EOF {
+			if first {
+				return 0, 0, io.EOF
+			}
+			return 0, 0, fmt.Errorf("live: record cut short: %w (%w)", faults.ErrTornJournal, faults.ErrCorruptJournal)
+		}
+		return 0, 0, peekErr
+	}
+	v, n, err := readCanonicalUvarint(buf)
+	if err != nil {
+		if n == 0 {
+			// The varint continues past the bytes we have; since Peek only
+			// comes up short at stream end, the record is torn — unless the
+			// shortfall was a read error, which is reported as itself.
+			if peekErr != nil && peekErr != io.EOF {
+				return 0, 0, peekErr
+			}
+			return 0, 0, fmt.Errorf("live: record cut short: %w (%w)", faults.ErrTornJournal, faults.ErrCorruptJournal)
+		}
+		return 0, 0, err
+	}
+	if v > maxJournalValue {
+		return 0, 0, fmt.Errorf("live: value %d exceeds the journal bound: %w", v, faults.ErrCorruptJournal)
+	}
+	if _, err := jr.br.Discard(n); err != nil {
+		return 0, 0, err
+	}
+	return int(v), n, nil
 }
 
 // readValue decodes one bounded canonical uvarint.
@@ -149,16 +290,18 @@ func readValue(b []byte) (int, int, error) {
 
 // readCanonicalUvarint decodes a uvarint and rejects non-minimal encodings:
 // a multi-byte encoding whose last byte is zero carries redundant high bits,
-// and accepting it would break the bit-exact re-encode guarantee.
+// and accepting it would break the bit-exact re-encode guarantee. On failure
+// the returned count is zero exactly when the input ran out mid-varint, so
+// streaming callers can tell truncation from malformed bytes.
 func readCanonicalUvarint(b []byte) (uint64, int, error) {
 	v, n := binary.Uvarint(b)
 	switch {
 	case n == 0:
 		return 0, 0, fmt.Errorf("live: truncated varint: %w", faults.ErrCorruptJournal)
 	case n < 0:
-		return 0, 0, fmt.Errorf("live: varint overflows 64 bits: %w", faults.ErrCorruptJournal)
+		return 0, -n, fmt.Errorf("live: varint overflows 64 bits: %w", faults.ErrCorruptJournal)
 	case n > 1 && b[n-1] == 0:
-		return 0, 0, fmt.Errorf("live: non-canonical varint: %w", faults.ErrCorruptJournal)
+		return 0, n, fmt.Errorf("live: non-canonical varint: %w", faults.ErrCorruptJournal)
 	}
 	return v, n, nil
 }

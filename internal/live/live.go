@@ -70,6 +70,25 @@ func WithJournal(w io.Writer) Option {
 	return func(s *Session) { s.journalDst = w }
 }
 
+// JournalSink receives every successfully applied step before it is
+// published. It generalizes WithJournal for sinks that own their framing —
+// the durable session store appends to segment files with its own rotation
+// and sync policy, so the plain header-plus-records stream of a JournalWriter
+// does not fit. An Append error poisons the session, exactly like a journal
+// write error.
+type JournalSink interface {
+	Append(StepRequest) error
+}
+
+// WithJournalSink attaches a step sink (see JournalSink). It is mutually
+// exclusive with WithJournal; the last option wins.
+func WithJournalSink(sink JournalSink) Option {
+	return func(s *Session) {
+		s.sink = sink
+		s.journalDst = nil
+	}
+}
+
 // Session is a live run: a derivation in progress whose data items are
 // labeled the moment they are produced, and whose labels can be read by any
 // number of concurrent readers while producers keep appending steps.
@@ -81,11 +100,11 @@ type Session struct {
 	run     *run.Run
 	labeler *core.RunLabeler
 
-	mu      sync.Mutex
-	journal *JournalWriter
-	failed  error
-	labels  []*core.DataLabel
-	steps   []StepRequest
+	mu     sync.Mutex
+	sink   JournalSink
+	failed error
+	labels []*core.DataLabel
+	steps  []StepRequest
 
 	cur atomic.Pointer[Prefix]
 
@@ -108,7 +127,7 @@ func NewSession(scheme *core.Scheme, opts ...Option) (*Session, error) {
 		if err != nil {
 			return nil, fmt.Errorf("live: starting journal: %w", err)
 		}
-		s.journal = jw
+		s.sink = jw
 	}
 	s.run = run.New(scheme.Spec)
 	s.labeler = scheme.NewRunLabeler()
@@ -147,6 +166,78 @@ func Resume(scheme *core.Scheme, journal io.Reader, opts ...Option) (*Session, e
 		}
 	}
 	return s, nil
+}
+
+// Restore rebuilds a session directly from recovered state — a run, the
+// labeler that labeled it, and the step requests that produced it — without
+// replaying a single step. It is the fast-path counterpart of Resume for
+// checkpoint-based recovery: the caller restores run and labeler from a
+// checkpoint artifact (run.Restore, Scheme.RestoreRunLabeler), replays only
+// the journal tail through Apply, and the session continues from there.
+//
+// The pieces must agree: the run must belong to the scheme's specification,
+// steps must match the run's recorded derivation step for step, and every
+// data item of the run must already carry a label. Options apply as in
+// NewSession, except that a journal attached here starts at the restored
+// epoch — the restored steps are not re-appended (they are already durable
+// wherever the caller recovered them from).
+func Restore(scheme *core.Scheme, r *run.Run, labeler *core.RunLabeler, steps []StepRequest, opts ...Option) (*Session, error) {
+	if scheme == nil || r == nil || labeler == nil {
+		return nil, fmt.Errorf("live: restore needs a scheme, a run and a labeler")
+	}
+	if r.Spec != scheme.Spec {
+		return nil, fmt.Errorf("live: restored run: %w", faults.ErrForeignLabel)
+	}
+	if len(steps) != len(r.Steps) {
+		return nil, fmt.Errorf("live: %d step requests for a run of %d steps", len(steps), len(r.Steps))
+	}
+	for i, req := range steps {
+		if rec := r.Steps[i]; req.Instance != rec.Instance || req.Prod != rec.Prod {
+			return nil, fmt.Errorf("live: step request %d (%d, %d) does not match the run's step (%d, %d)",
+				i+1, req.Instance, req.Prod, rec.Instance, rec.Prod)
+		}
+	}
+	s := &Session{scheme: scheme}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.journalDst != nil {
+		jw, err := NewJournalWriter(s.journalDst)
+		if err != nil {
+			return nil, fmt.Errorf("live: starting journal: %w", err)
+		}
+		s.sink = jw
+	}
+	s.run = r
+	s.labeler = labeler
+	for _, item := range r.Items {
+		d, ok := labeler.Label(item.ID)
+		if !ok || item.ID != len(s.labels)+1 {
+			return nil, fmt.Errorf("live: restored item %d has no label", item.ID)
+		}
+		s.labels = append(s.labels, d)
+	}
+	s.steps = append(s.steps, steps...)
+	s.publishLocked()
+	return s, nil
+}
+
+// Exclusive runs fn with the session's producer lock held, passing the live
+// run and labeler. No step can be applied while fn runs, so fn observes (run,
+// labeler, published prefix) at one consistent epoch — the window a durable
+// checkpoint is captured in. fn must treat both arguments as read-only and
+// must not call back into the session.
+//
+// A poisoned session refuses: after a labeling or journal failure the
+// in-memory state may be ahead of the last published epoch, so there is no
+// consistent state to expose.
+func (s *Session) Exclusive(fn func(r *run.Run, labeler *core.RunLabeler) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return fmt.Errorf("live: session is poisoned: %w", s.failed)
+	}
+	return fn(s.run, s.labeler)
 }
 
 // publishLocked publishes the current producer state as a new Prefix. The
@@ -192,8 +283,8 @@ func (s *Session) Apply(instance, prod int) (uint64, error) {
 		s.labels = append(s.labels, d)
 	}
 	req := StepRequest{Instance: instance, Prod: prod}
-	if s.journal != nil {
-		if err := s.journal.Append(req); err != nil {
+	if s.sink != nil {
+		if err := s.sink.Append(req); err != nil {
 			s.failed = fmt.Errorf("live: journaling step %d: %w", step.Index, err)
 			return 0, s.failed
 		}

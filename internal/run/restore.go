@@ -1,0 +1,216 @@
+package run
+
+import (
+	"fmt"
+
+	"repro/internal/workflow"
+)
+
+// Restore rebuilds a run from persisted state: the instances, port instances
+// and data items of a derivation prefix, plus the (instance, production)
+// pair of every derivation step in application order. It is the load half of
+// a session checkpoint — the run is reconstructed without replaying a single
+// production application, which is what keeps recovery cost proportional to
+// the journal tail rather than the run.
+//
+// The state is untrusted input (it arrives from disk): every index is
+// bounds-checked, every instance is checked against the grammar (module
+// exists, production expands it, port arities match the declaration, port
+// kinds match their use), and the step list must partition the instances and
+// items exactly. These checks make the restored run structurally safe — no
+// consumer can be driven out of bounds — but they deliberately stop short of
+// re-deriving the bindings, which would cost exactly the replay a checkpoint
+// exists to avoid; end-to-end integrity of a checkpoint rests on its
+// checksum. Children lists and Step records are not taken from the input at
+// all: they are recomputed from the parent pointers and step indices, so a
+// forged checkpoint cannot make them inconsistent.
+func Restore(spec *workflow.Specification, instances []Instance, ports []PortInstance, items []DataItem, steps [][2]int) (*Run, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("run: restore: nil specification")
+	}
+	g := spec.Grammar
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("run: restore: no instances (a run always has the start instance)")
+	}
+	start := g.Modules[g.Start]
+	root := instances[0]
+	if root.Module != start.Name || root.Parent != -1 || root.Step != 0 || root.NodeIndex != 0 {
+		return nil, fmt.Errorf("run: restore: instance 0 is not the start instance of %q", start.Name)
+	}
+
+	// Instances. IDs are implicit (the slice position); the Children lists
+	// are rebuilt below from the parent pointers.
+	expanded := 0
+	for id := range instances {
+		inst := &instances[id]
+		inst.ID = id
+		inst.Children = nil
+		decl, ok := g.Modules[inst.Module]
+		if !ok {
+			return nil, fmt.Errorf("run: restore: instance %d has unknown module %q", id, inst.Module)
+		}
+		if inst.Prod < 0 || inst.Prod > len(g.Productions) {
+			return nil, fmt.Errorf("run: restore: instance %d has production %d out of range [0, %d]", id, inst.Prod, len(g.Productions))
+		}
+		if inst.Prod > 0 {
+			if g.Productions[inst.Prod-1].LHS != inst.Module {
+				return nil, fmt.Errorf("run: restore: instance %d (%s) claims expansion by production %d of %q",
+					id, inst.Module, inst.Prod, g.Productions[inst.Prod-1].LHS)
+			}
+			expanded++
+		}
+		if id > 0 {
+			if inst.Parent < 0 || inst.Parent >= id {
+				return nil, fmt.Errorf("run: restore: instance %d has parent %d (want an earlier instance)", id, inst.Parent)
+			}
+			if inst.Step < 1 || inst.Step > len(steps) {
+				return nil, fmt.Errorf("run: restore: instance %d was created at step %d of %d", id, inst.Step, len(steps))
+			}
+			if instances[id-1].Step > inst.Step {
+				return nil, fmt.Errorf("run: restore: instance %d was created at step %d, after instance %d at step %d",
+					id, inst.Step, id-1, instances[id-1].Step)
+			}
+			parent := &instances[inst.Parent]
+			if parent.Prod == 0 {
+				return nil, fmt.Errorf("run: restore: instance %d hangs off unexpanded instance %d", id, inst.Parent)
+			}
+			rhs := g.Productions[parent.Prod-1].RHS
+			if inst.NodeIndex < 0 || inst.NodeIndex >= len(rhs.Nodes) || rhs.Nodes[inst.NodeIndex] != inst.Module {
+				return nil, fmt.Errorf("run: restore: instance %d is not node %d of production %d", id, inst.NodeIndex, parent.Prod)
+			}
+			parent.Children = append(parent.Children, id)
+		}
+		if len(inst.Inputs) != decl.In || len(inst.Outputs) != decl.Out {
+			return nil, fmt.Errorf("run: restore: instance %d (%s) binds %d/%d ports, declaration wants %d/%d",
+				id, inst.Module, len(inst.Inputs), len(inst.Outputs), decl.In, decl.Out)
+		}
+		for _, bind := range [2]struct {
+			kind  workflow.PortKind
+			slots []int
+		}{{workflow.InPort, inst.Inputs}, {workflow.OutPort, inst.Outputs}} {
+			for slot, pid := range bind.slots {
+				if pid < 0 || pid >= len(ports) {
+					return nil, fmt.Errorf("run: restore: instance %d binds unknown port %d", id, pid)
+				}
+				if ports[pid].Kind != bind.kind {
+					return nil, fmt.Errorf("run: restore: instance %d binds port %d with the wrong kind at slot %d", id, pid, slot)
+				}
+			}
+		}
+	}
+	if expanded != len(steps) {
+		return nil, fmt.Errorf("run: restore: %d expanded instances but %d steps", expanded, len(steps))
+	}
+
+	// Ports. IDs are implicit; the owner's module declaration bounds the
+	// creation index.
+	for id := range ports {
+		p := &ports[id]
+		p.ID = id
+		if p.Owner < 0 || p.Owner >= len(instances) {
+			return nil, fmt.Errorf("run: restore: port %d is owned by unknown instance %d", id, p.Owner)
+		}
+		decl := g.Modules[instances[p.Owner].Module]
+		limit := decl.In
+		if p.Kind == workflow.OutPort {
+			limit = decl.Out
+		} else if p.Kind != workflow.InPort {
+			return nil, fmt.Errorf("run: restore: port %d has unknown kind %d", id, p.Kind)
+		}
+		if p.Index < 0 || p.Index >= limit {
+			return nil, fmt.Errorf("run: restore: port %d has index %d out of range [0, %d) at %q",
+				id, p.Index, limit, instances[p.Owner].Module)
+		}
+	}
+
+	// Items. IDs are 1-based slice positions; step 0 items are the run's
+	// initial inputs and final outputs.
+	for i := range items {
+		it := &items[i]
+		it.ID = i + 1
+		if it.Step < 0 || it.Step > len(steps) {
+			return nil, fmt.Errorf("run: restore: item %d was created at step %d of %d", it.ID, it.Step, len(steps))
+		}
+		if i > 0 && items[i-1].Step > it.Step {
+			return nil, fmt.Errorf("run: restore: item %d was created at step %d, after item %d at step %d",
+				it.ID, it.Step, it.ID-1, items[i-1].Step)
+		}
+		if it.Src < -1 || it.Src >= len(ports) || it.Dst < -1 || it.Dst >= len(ports) {
+			return nil, fmt.Errorf("run: restore: item %d connects unknown ports (%d, %d)", it.ID, it.Src, it.Dst)
+		}
+		if it.Src == -1 && it.Dst == -1 {
+			return nil, fmt.Errorf("run: restore: item %d has neither a producer nor a consumer", it.ID)
+		}
+		if it.Src >= 0 && ports[it.Src].Kind != workflow.OutPort {
+			return nil, fmt.Errorf("run: restore: item %d is produced by input port %d", it.ID, it.Src)
+		}
+		if it.Dst >= 0 && ports[it.Dst].Kind != workflow.InPort {
+			return nil, fmt.Errorf("run: restore: item %d is consumed by output port %d", it.ID, it.Dst)
+		}
+		if it.Step == 0 {
+			if it.CreatedBy != -1 || (it.Src != -1 && it.Dst != -1) {
+				return nil, fmt.Errorf("run: restore: item %d is not a valid initial input or final output", it.ID)
+			}
+		} else if it.CreatedBy < 0 || it.CreatedBy >= len(instances) {
+			return nil, fmt.Errorf("run: restore: item %d was created by unknown instance %d", it.ID, it.CreatedBy)
+		}
+	}
+
+	// Steps. Each (instance, production) pair must name an instance recorded
+	// as expanded with exactly that production, exactly once; the instances
+	// and items stamped with the step's index are its NewInstances/NewItems.
+	r := &Run{Spec: spec, Instances: instances, Ports: ports, Items: items}
+	seen := make([]bool, len(instances))
+	nextInst, nextItem := 1, 0
+	for it := range items {
+		if items[it].Step == 0 {
+			nextItem = it + 1
+		} else {
+			break
+		}
+	}
+	for s, pair := range steps {
+		instID, prod := pair[0], pair[1]
+		idx := s + 1
+		if instID < 0 || instID >= len(instances) {
+			return nil, fmt.Errorf("run: restore: step %d expands unknown instance %d", idx, instID)
+		}
+		if seen[instID] {
+			return nil, fmt.Errorf("run: restore: instance %d is expanded twice", instID)
+		}
+		seen[instID] = true
+		inst := &instances[instID]
+		if inst.Prod != prod {
+			return nil, fmt.Errorf("run: restore: step %d applies production %d but instance %d records %d",
+				idx, prod, instID, inst.Prod)
+		}
+		if inst.Step >= idx {
+			return nil, fmt.Errorf("run: restore: step %d expands instance %d before it was created (step %d)", idx, instID, inst.Step)
+		}
+		step := Step{Index: idx, Instance: instID, Prod: prod}
+		for ; nextInst < len(instances) && instances[nextInst].Step == idx; nextInst++ {
+			if instances[nextInst].Parent != instID {
+				return nil, fmt.Errorf("run: restore: instance %d was created at step %d but hangs off instance %d, not %d",
+					nextInst, idx, instances[nextInst].Parent, instID)
+			}
+			step.NewInstances = append(step.NewInstances, nextInst)
+		}
+		for ; nextItem < len(items) && items[nextItem].Step == idx; nextItem++ {
+			if items[nextItem].CreatedBy != instID {
+				return nil, fmt.Errorf("run: restore: item %d was created at step %d by instance %d, not %d",
+					nextItem+1, idx, items[nextItem].CreatedBy, instID)
+			}
+			step.NewItems = append(step.NewItems, nextItem+1)
+		}
+		r.Steps = append(r.Steps, step)
+	}
+	if nextInst != len(instances) {
+		return nil, fmt.Errorf("run: restore: instance %d claims creation at step %d, past the %d recorded steps",
+			nextInst, instances[nextInst].Step, len(steps))
+	}
+	if nextItem != len(items) {
+		return nil, fmt.Errorf("run: restore: item %d claims creation at step %d, past the %d recorded steps",
+			nextItem+1, items[nextItem].Step, len(steps))
+	}
+	return r, nil
+}
