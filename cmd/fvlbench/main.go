@@ -38,9 +38,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/fvl"
 	"repro/fvl/bench"
 )
 
@@ -105,12 +107,17 @@ func main() {
 		}
 
 		var out io.Writer = os.Stdout
+		var report *os.File
 		if *output != "" {
+			// The -o file tees the report as the experiments stream it to
+			// stdout over minutes; it is a console transcript, not a durable
+			// artifact, so plain create-and-append is the right tool.
+			//lint:ignore syncrename the -o report streams alongside stdout; -json is the durable artifact
 			f, err := os.Create(*output)
 			if err != nil {
 				log.Fatalf("creating %s: %v", *output, err)
 			}
-			defer f.Close()
+			report = f
 			out = io.MultiWriter(os.Stdout, f)
 		}
 
@@ -124,26 +131,36 @@ func main() {
 			}
 			fmt.Fprintf(out, "%s\n(completed in %v)\n\n", table, time.Since(start).Round(time.Millisecond))
 		}
+		if report != nil {
+			if err := report.Close(); err != nil {
+				log.Fatalf("writing %s: %v", *output, err)
+			}
+		}
 	}
 
 	if *jsonOut != "" {
-		// Create the output file before measuring, so a bad path fails in
+		// Probe the output directory before measuring, so a bad path fails in
 		// milliseconds instead of after minutes of benchmarking.
-		f, err := os.Create(*jsonOut)
+		probe, err := os.CreateTemp(filepath.Dir(*jsonOut), ".fvlbench-probe-*")
 		if err != nil {
 			log.Fatalf("creating %s: %v", *jsonOut, err)
 		}
+		if err := probe.Close(); err != nil {
+			log.Fatalf("creating %s: %v", *jsonOut, err)
+		}
+		os.Remove(probe.Name())
+
 		start := time.Now()
 		records, err := bench.Records(cfg)
 		if err != nil {
-			f.Close()
 			log.Fatalf("benchmark records: %v", err)
 		}
-		if err := bench.WriteRecords(f, records); err != nil {
-			f.Close()
-			log.Fatalf("writing %s: %v", *jsonOut, err)
-		}
-		if err := f.Close(); err != nil {
+		// The records file is the durable artifact of the run (the BENCH_*
+		// trajectory): land it atomically so an interrupted write cannot
+		// truncate a previously good file.
+		if err := fvl.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
+			return bench.WriteRecords(w, records)
+		}); err != nil {
 			log.Fatalf("writing %s: %v", *jsonOut, err)
 		}
 		fmt.Printf("wrote %d benchmark records to %s in %v\n", len(records), *jsonOut, time.Since(start).Round(time.Millisecond))

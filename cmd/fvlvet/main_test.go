@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStandaloneCleanOnRepo drives the standalone loader path end to end:
+// fvlvet's own run function over the whole module must report nothing.
+func TestStandaloneCleanOnRepo(t *testing.T) {
+	if code := run([]string{"-C", "../..", "./..."}); code != 0 {
+		t.Fatalf("fvlvet ./... = exit %d, want 0 (run it locally for the findings)", code)
+	}
+}
+
+// TestGoVetVettool exercises the unitchecker protocol for real: build the
+// tool, then let go vet drive it over the module with -V probing, .cfg
+// units, export data and facts files.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	tool := filepath.Join(t.TempDir(), "fvlvet")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building fvlvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestListNamesEveryAnalyzer keeps the -list surface wired to the suite.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	out, err := exec.Command("go", "run", ".", "-list").Output()
+	if err != nil {
+		t.Fatalf("fvlvet -list: %v", err)
+	}
+	for _, name := range []string{"closecheck", "ctxflow", "faultwrap", "immutafter", "pubatomic", "syncrename"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the JSON the go command hands a -vettool per package unit.
+// Field names and shapes follow the unitchecker protocol of
+// golang.org/x/tools; only the fields this driver needs are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit as directed by a go vet config file:
+// parse the unit's files, type-check against the export data the go command
+// already built, run the suite, print findings. This is what makes
+// `go vet -vettool=$(which fvlvet) ./...` work, build cache and all.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fvlvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fvlvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := types.Config{Importer: imp, Sizes: types.SizesFor(compiler, build.Default.GOARCH), FakeImportC: true}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+
+	// The go command requires a facts file per unit even though this suite
+	// exports none.
+	if cfg.VetxOutput != "" {
+		//lint:ignore syncrename the facts file is a go vet build-cache entry owned by cmd/go, not a durable artifact
+		if err := os.WriteFile(cfg.VetxOutput, []byte("fvlvet\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fvlvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{
+		PkgPath: normalizeImportPath(cfg.ImportPath),
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	findings, err := analysis.RunPackage(fset, pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fvlvet: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "fvlvet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// normalizeImportPath strips the test-variant decorations the go command
+// puts on package units ("pkg [pkg.test]", "pkg_test [pkg.test]") so
+// analyzers scoped by import path see the path of the package under test.
+func normalizeImportPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}

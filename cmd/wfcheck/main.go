@@ -69,15 +69,9 @@ func main() {
 		fmt.Println()
 	}
 	if *export != "" {
-		f, err := os.Create(*export)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := spec.WriteJSON(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Sync-then-rename, so an interrupted export never leaves a truncated
+		// JSON file masquerading as the specification.
+		if err := fvl.WriteFileAtomic(*export, spec.WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote specification to %s\n", *export)

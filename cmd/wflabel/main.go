@@ -241,7 +241,7 @@ func selectView(spec *fvl.Spec, name string, seed int64) (*fvl.View, error) {
 		if len(parts) == 2 {
 			n, err = strconv.Atoi(parts[1])
 			if err != nil {
-				return nil, fmt.Errorf("view %q: %v", name, err)
+				return nil, fmt.Errorf("view %q: %w", name, err)
 			}
 		}
 		return fvl.RandomView(spec, fvl.ViewOptions{

@@ -1,0 +1,21 @@
+package fvl
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/labelstore"
+)
+
+// WriteFileAtomic writes a file with the same crash discipline the snapshot
+// paths use: content goes to a temporary file in the target directory, is
+// fsynced, and only then renamed over path, followed by a directory sync. A
+// crash at any point leaves either the old file or the complete new one —
+// never a torn mix. Commands producing durable artifacts (exported
+// specifications, benchmark records) should write through this rather than
+// os.Create, so a crash mid-write cannot pass off a prefix as the artifact.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return labelstore.WriteFileAtomic(path, func(f *os.File) error {
+		return write(f)
+	})
+}

@@ -1,0 +1,233 @@
+// Package closecheck flags discarded Close and Sync errors on files that
+// were opened for writing. On a written file, the operating system may
+// surface a delayed write failure at close time — a discarded f.Close() (or
+// f.Sync()) turns data loss into silent success, which is how "the export
+// looked fine until the disk filled up" bugs are born. PR 6 made the fvl and
+// CLI paths propagate Close errors; this analyzer keeps it that way.
+//
+// The analyzer tracks variables bound from writable opens — os.Create,
+// os.CreateTemp, writable os.OpenFile, and Create/Append methods returning a
+// durable.FS File — and flags any statement-position Close()/Sync() call on
+// them, whose error result is necessarily discarded. Two idioms stay legal:
+// a discarded f.Close() immediately before `return err` is failure-path
+// cleanup dominated by the error already being returned; and once the
+// function checks an explicit f.Close() error somewhere (the success path),
+// its remaining discarded closes — error-path cleanup or a defer backstop
+// whose second close only reports ErrClosed — are not flagged.
+package closecheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the closecheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "flags discarded Close/Sync error results on files opened for writing: delayed write errors " +
+		"surface at Close/Sync, discarding them hides data loss",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.EachFunc(file, func(fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			checkFunc(pass, fd)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	written := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !opensForWriting(pass.TypesInfo, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+				written[v] = true
+			} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				written[v] = true
+			}
+		}
+		return true
+	})
+	if len(written) == 0 {
+		return
+	}
+
+	type site struct {
+		call   *ast.CallExpr
+		v      *types.Var
+		method string
+	}
+	var discarded []site
+	checkedClose := map[*types.Var]bool{}
+
+	classify := func(stmt, next ast.Stmt) {
+		var call *ast.CallExpr
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = s.Call
+		case *ast.GoStmt:
+			call = s.Call
+		}
+		if call == nil {
+			return
+		}
+		if v, method, ok := closeOrSyncOn(pass.TypesInfo, call, written); ok {
+			if method == "Close" && returnsError(pass.TypesInfo, next) {
+				// f.Close() immediately before returning an error value: the
+				// error already being returned takes precedence, the close is
+				// resource cleanup on the failure path.
+				return
+			}
+			discarded = append(discarded, site{call: call, v: v, method: method})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		for i, stmt := range stmtsOf(n) {
+			var next ast.Stmt
+			if i+1 < len(stmtsOf(n)) {
+				next = stmtsOf(n)[i+1]
+			}
+			classify(stmt, next)
+		}
+		// Any Close call that is NOT in statement position consumes its
+		// result: record it as checked.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if v, method, ok := closeOrSyncOn(pass.TypesInfo, call, written); ok && method == "Close" && !inStatementPosition(fd, call) {
+				checkedClose[v] = true
+			}
+		}
+		return true
+	})
+
+	for _, s := range discarded {
+		if s.method == "Close" && checkedClose[s.v] {
+			// The success path checks an explicit f.Close(); the remaining
+			// discarded closes are error-path cleanup (an earlier error takes
+			// precedence) or a defer backstop. Both are the sanctioned idiom.
+			continue
+		}
+		pass.Reportf(s.call.Pos(), "%s error of %s is discarded on a file opened for writing: delayed write failures "+
+			"surface here; check the error (an additional defer %s.Close() backstop is fine once the success path checks Close)",
+			s.method, s.v.Name(), s.v.Name())
+	}
+}
+
+// stmtsOf returns the statement list a node carries, if any — the positions
+// where a discarded-result call can appear next to its sibling statements.
+func stmtsOf(n ast.Node) []ast.Stmt {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case *ast.CaseClause:
+		return s.Body
+	case *ast.CommClause:
+		return s.Body
+	}
+	return nil
+}
+
+// returnsError reports whether the statement is a return carrying a non-nil
+// error value (so a preceding discarded Close is failure-path cleanup
+// dominated by that error).
+func returnsError(info *types.Info, s ast.Stmt) bool {
+	ret, ok := s.(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range ret.Results {
+		if analysis.ImplementsError(info.TypeOf(r)) {
+			return true
+		}
+	}
+	return false
+}
+
+// inStatementPosition reports whether the call is directly the expression of
+// an ExprStmt/DeferStmt/GoStmt in fd (its result is discarded).
+func inStatementPosition(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if s.X == call {
+				found = true
+			}
+		case *ast.DeferStmt:
+			if s.Call == call {
+				found = true
+			}
+		case *ast.GoStmt:
+			if s.Call == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// closeOrSyncOn matches a call of the form v.Close() or v.Sync() where v is
+// one of the tracked written-file variables.
+func closeOrSyncOn(info *types.Info, call *ast.CallExpr, written map[*types.Var]bool) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") || len(call.Args) != 0 {
+		return nil, "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil, "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || !written[v] {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+// opensForWriting reports whether the call opens a file for writing.
+func opensForWriting(info *types.Info, call *ast.CallExpr) bool {
+	obj := analysis.Callee(info, call)
+	switch {
+	case analysis.IsPkgFunc(obj, "os", "Create"), analysis.IsPkgFunc(obj, "os", "CreateTemp"):
+		return true
+	case analysis.IsPkgFunc(obj, "os", "OpenFile"):
+		if len(call.Args) >= 2 {
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					return v&3 != 0 // O_WRONLY | O_RDWR
+				}
+			}
+		}
+		return true
+	case obj != nil && (obj.Name() == "Create" || obj.Name() == "Append"):
+		// The durable.FS boundary: Create/Append methods handing out a File
+		// whose Sync/Close results carry the durability guarantee.
+		if fn, ok := obj.(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 2 {
+				return analysis.IsNamed(sig.Results().At(0).Type(), "repro/internal/durable", "File")
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Package writer exercises the closecheck fixture: Close/Sync errors on
+// files opened for writing carry delayed write failures and must be checked.
+package writer
+
+import "os"
+
+func bad(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close() // want `Close error of f is discarded on a file opened for writing`
+	return nil
+}
+
+func badSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync() // want `Sync error of f is discarded on a file opened for writing`
+	return f.Close()
+}
+
+func deferOnly(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error of f is discarded on a file opened for writing`
+	_, err = f.Write(data)
+	return err
+}
+
+// good checks Close on the success path; the defer is the sanctioned
+// backstop whose second close only reports ErrClosed.
+func good(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// errorPath discards a Close immediately before returning the write error,
+// which dominates it — the failure-path cleanup idiom.
+func errorPath(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readOnly files carry no pending writes; their closes are out of scope.
+func readOnly(path string) {
+	f, _ := os.Open(path)
+	f.Close()
+}

@@ -1,0 +1,213 @@
+// Package ctxflow enforces end-to-end context propagation, the PR 4
+// contract: cancellation reaches every layer because each function that
+// accepts a context.Context actually threads it into the ...Context variants
+// below it. A dropped context parameter or a context.Background() conjured
+// mid-stack silently disables cancellation for everything underneath —
+// batch queries stop being abortable at claim-block granularity, labeling
+// stops being abortable between views.
+//
+// Rules, in non-test code:
+//
+//  1. A declared context parameter must be used (a blank or unused ctx
+//     parameter advertises cancellation it does not deliver).
+//
+//  2. A function that has a context must not call context.Background() or
+//     context.TODO() — except to normalize a nil context onto its own
+//     parameter (the `if ctx == nil { ctx = context.Background() }` idiom).
+//
+//  3. A function that has a context must not call a method or function F
+//     when an FContext sibling exists: the sibling is where the context
+//     goes.
+//
+//  4. A function without a context parameter may use context.Background()
+//     only in package main (the root of the program owns the root context)
+//     or to delegate directly to its own ...Context variant (the compat
+//     wrapper idiom, e.g. DependsOnBatch -> DependsOnBatchContext).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flags dropped context parameters, mid-stack context.Background()/TODO(), and calls to F " +
+		"where an FContext variant exists — cancellation must flow end to end",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.EachFunc(file, func(fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			ctxParams, blankCtx := contextParams(pass.TypesInfo, fd)
+			hasCtx := len(ctxParams) > 0 || blankCtx != token.NoPos
+
+			if blankCtx != token.NoPos {
+				pass.Reportf(blankCtx, "context parameter is blank: %s advertises cancellation it cannot deliver; "+
+					"thread the context through or annotate why the interface forces the signature", fd.Name.Name)
+			}
+			used := map[*types.Var]bool{}
+			walkStack(fd.Body, func(stack []ast.Node, n ast.Node) {
+				switch e := n.(type) {
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && ctxParams[v] {
+						used[v] = true
+					}
+				case *ast.CallExpr:
+					obj := analysis.Callee(pass.TypesInfo, e)
+					if isBackgroundOrTODO(obj) {
+						checkBackground(pass, fd, stack, e, obj.Name(), hasCtx, isMain)
+					} else if hasCtx && obj != nil {
+						checkVariant(pass, e, obj)
+					}
+				}
+			})
+			for v := range ctxParams {
+				if !used[v] {
+					pass.Reportf(fd.Name.Pos(), "context parameter %s is dropped: %s accepts a context it never uses; "+
+						"thread it into the calls below or remove the parameter", v.Name(), fd.Name.Name)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// contextParams returns the function's named context.Context parameters and
+// the position of a blank one, if any.
+func contextParams(info *types.Info, fd *ast.FuncDecl) (map[*types.Var]bool, token.Pos) {
+	out := map[*types.Var]bool{}
+	blank := token.NoPos
+	if fd.Type.Params == nil {
+		return out, blank
+	}
+	for _, field := range fd.Type.Params.List {
+		if !analysis.IsNamed(info.TypeOf(field.Type), "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				blank = name.Pos()
+				continue
+			}
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	return out, blank
+}
+
+func isBackgroundOrTODO(obj types.Object) bool {
+	return analysis.IsPkgFunc(obj, "context", "Background") || analysis.IsPkgFunc(obj, "context", "TODO")
+}
+
+func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl, stack []ast.Node, call *ast.CallExpr, name string, hasCtx, isMain bool) {
+	if hasCtx {
+		if insideNilNormalize(pass.TypesInfo, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(), "context.%s() inside a function that already has a context: "+
+			"use the parameter, or cancellation stops here", name)
+		return
+	}
+	if isMain || delegatesToOwnContextVariant(pass.TypesInfo, fd, stack, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() in library code severs cancellation; accept a context.Context "+
+		"or delegate to the %sContext variant", name, fd.Name.Name)
+}
+
+// insideNilNormalize reports whether the call sits under an if whose
+// condition compares a context value to nil — the accepted
+// `if ctx == nil { ctx = context.Background() }` idiom.
+func insideNilNormalize(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if cond, ok := ifs.Cond.(*ast.BinaryExpr); ok && cond.Op == token.EQL {
+			for _, side := range []ast.Expr{cond.X, cond.Y} {
+				if analysis.IsNamed(info.TypeOf(side), "context", "Context") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// delegatesToOwnContextVariant reports whether the Background() call is an
+// argument of a direct call to <fn>Context — the compatibility-wrapper idiom.
+func delegatesToOwnContextVariant(info *types.Info, fd *ast.FuncDecl, stack []ast.Node, call *ast.CallExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		outer, ok := stack[i].(*ast.CallExpr)
+		if !ok || outer == call {
+			continue
+		}
+		obj := analysis.Callee(info, outer)
+		if obj != nil && obj.Name() == fd.Name.Name+"Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVariant flags calls to F when FContext exists on the same receiver
+// type or in the same package.
+func checkVariant(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() == "" || hasSuffixContext(fn.Name()) {
+		return
+	}
+	variant := fn.Name() + "Context"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		vObj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), variant)
+		if vf, ok := vObj.(*types.Func); ok {
+			pass.Reportf(call.Pos(), "%s drops the context in scope; call %s instead", fn.Name(), vf.Name())
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	if _, ok := fn.Pkg().Scope().Lookup(variant).(*types.Func); ok {
+		pass.Reportf(call.Pos(), "%s drops the context in scope; call %s instead", fn.Name(), variant)
+	}
+}
+
+func hasSuffixContext(name string) bool {
+	return len(name) >= 7 && name[len(name)-7:] == "Context"
+}
+
+// walkStack traverses the tree, handing fn each node together with the stack
+// of its ancestors (excluding the node itself).
+func walkStack(root ast.Node, fn func(stack []ast.Node, n ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(stack, n)
+		stack = append(stack, n)
+		return true
+	})
+}

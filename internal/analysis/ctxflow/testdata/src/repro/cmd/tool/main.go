@@ -1,0 +1,15 @@
+// Command tool exercises the ctxflow package-main exemption: the root of
+// the program owns the root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,66 @@
+// Package flow exercises the ctxflow fixture: contexts thread end to end,
+// with the two sanctioned escapes (nil-normalize, delegation wrappers).
+package flow
+
+import "context"
+
+// Store is a query surface with paired context/context-free methods.
+type Store struct{}
+
+// Get answers without a caller context.
+func (s *Store) Get(k string) int { return len(k) }
+
+// GetContext is the context-aware variant of Get.
+func (s *Store) GetContext(ctx context.Context, k string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(k)
+}
+
+// Lookup answers without a caller context, delegating to LookupContext —
+// the compat-wrapper idiom, which may mint the root context.
+func Lookup(k string) int { return LookupContext(context.Background(), k) }
+
+// LookupContext is the context-aware variant of Lookup.
+func LookupContext(ctx context.Context, k string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(k)
+}
+
+func dropped(ctx context.Context, k string) int { // want `context parameter ctx is dropped`
+	return len(k)
+}
+
+func blank(_ context.Context, k string) int { // want `context parameter is blank`
+	return len(k)
+}
+
+func variantMiss(ctx context.Context, s *Store) int {
+	n := s.GetContext(ctx, "a")
+	return n + s.Get("b") // want `Get drops the context in scope; call GetContext instead`
+}
+
+func funcVariantMiss(ctx context.Context, s *Store) int {
+	n := s.GetContext(ctx, "a")
+	return n + Lookup("b") // want `Lookup drops the context in scope; call LookupContext instead`
+}
+
+func midStack(ctx context.Context, s *Store) int {
+	n := s.GetContext(ctx, "a")
+	return n + s.GetContext(context.Background(), "b") // want `context\.Background\(\) inside a function that already has a context`
+}
+
+// Normalize accepts a nil context, the documented compat affordance.
+func Normalize(ctx context.Context, s *Store) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.GetContext(ctx, "k")
+}
+
+func sever(s *Store) int {
+	return s.GetContext(context.Background(), "k") // want `context\.Background\(\) in library code severs cancellation`
+}

@@ -1,0 +1,96 @@
+// Package faultwrap enforces the error discipline of the internal/faults
+// taxonomy: failures are classified by wrapping sentinel errors with %w at
+// the point of detection, so callers use errors.Is instead of string
+// matching, and library code never panics on untrusted input.
+//
+// Three rules, in non-test code:
+//
+//  1. panic(...) is reserved for documented programming-error guards: the
+//     enclosing function's doc comment must say "panic" (the standard
+//     library's own convention, e.g. boolmat.New's negative-dimension
+//     guard), or the function must follow the Must* naming convention.
+//     Anything else is a crash path that should return a classified error.
+//
+//  2. fmt.Errorf that formats an error value without a %w verb severs the
+//     error chain: errors.Is can no longer see the sentinel underneath.
+//     Chain-breaking must be deliberate and annotated.
+//
+//  3. errors.New inside a function body mints an unclassifiable ad-hoc
+//     error at what is usually a detection point. Wrap a faults sentinel
+//     with fmt.Errorf("...: %w", faults.ErrX) or declare a package-level
+//     sentinel instead.
+package faultwrap
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the faultwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultwrap",
+	Doc: "flags undocumented panics, fmt.Errorf that formats an error without %w (severing errors.Is chains), " +
+		"and ad-hoc errors.New at detection points that should wrap a faults sentinel",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.EachFunc(file, func(fd *ast.FuncDecl) {
+			if fd.Body == nil {
+				return
+			}
+			panicAllowed := docMentionsPanic(fd.Doc) || strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := analysis.Callee(pass.TypesInfo, call)
+				switch {
+				case obj != nil && obj.Name() == "panic" && obj.Pkg() == nil:
+					if !panicAllowed {
+						pass.Reportf(call.Pos(), "panic in library code: return an error wrapping a faults sentinel instead, "+
+							"or document the programming-error guard (\"panics if ...\") in the doc comment of %s", fd.Name.Name)
+					}
+				case analysis.IsPkgFunc(obj, "fmt", "Errorf"):
+					checkErrorf(pass, call)
+				case analysis.IsPkgFunc(obj, "errors", "New"):
+					pass.Reportf(call.Pos(), "errors.New at a detection point mints an unclassifiable error; "+
+						"wrap a repro/internal/faults sentinel with fmt.Errorf(\"...: %%w\", ...) or declare a package-level sentinel")
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := analysis.StringLit(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if analysis.ImplementsError(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error value formatted without %%w severs the chain: errors.Is can no longer "+
+				"classify the failure against the faults taxonomy; use %%w (or annotate a deliberate chain break)")
+			return
+		}
+	}
+}
+
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(doc.Text()), "panic")
+}

@@ -1,0 +1,12 @@
+package faultwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/faultwrap"
+)
+
+func TestFaultwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", faultwrap.Analyzer, "repro/internal/faulty")
+}

@@ -1,0 +1,54 @@
+// Package faulty exercises the faultwrap fixture: errors flow through the
+// taxonomy with %w, panics are documented guards, ad-hoc errors are out.
+package faulty
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput is the package sentinel; minting it at package level is the
+// sanctioned use of errors.New.
+var ErrBadInput = errors.New("faulty: bad input")
+
+func sever(err error) error {
+	return fmt.Errorf("decoding: %v", err) // want `error value formatted without %w severs the chain`
+}
+
+func chain(err error) error {
+	return fmt.Errorf("decoding: %w", err)
+}
+
+func adhoc() error {
+	return errors.New("something went wrong") // want `errors\.New at a detection point mints an unclassifiable error`
+}
+
+func classified(x int) error {
+	if x < 0 {
+		return fmt.Errorf("faulty: x = %d: %w", x, ErrBadInput)
+	}
+	return nil
+}
+
+func guard(x int) {
+	if x < 0 {
+		panic("faulty: negative x") // want `panic in library code`
+	}
+}
+
+// checked panics when x is negative — the documented programming-error
+// guard, following the standard library's convention.
+func checked(x int) int {
+	if x < 0 {
+		panic("faulty: negative x")
+	}
+	return x
+}
+
+// MustValue follows the Must naming convention for panic-on-error helpers.
+func MustValue(x int) int {
+	if x < 0 {
+		panic("faulty: negative x")
+	}
+	return x
+}

@@ -1,0 +1,12 @@
+package immutafter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/immutafter"
+)
+
+func TestImmutafter(t *testing.T) {
+	analysistest.Run(t, "testdata", immutafter.Analyzer, "repro/internal/core")
+}

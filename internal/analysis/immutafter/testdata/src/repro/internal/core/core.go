@@ -1,0 +1,54 @@
+// Package core impersonates repro/internal/core for the immutafter fixture:
+// the analyzer keys on the import path, so the fixture supplies a miniature
+// ViewLabel with the same mutation surfaces as the real one.
+package core
+
+type recChain struct {
+	prefixes []int
+}
+
+// ViewLabel mirrors the real label's state shape: scalar fields, maps, and
+// pointer-reachable recursion caches.
+type ViewLabel struct {
+	start    int
+	included map[int]bool
+	inRec    map[int]*recChain
+}
+
+// NewViewLabel is the construction path; its writes are the point.
+//
+//fvlvet:viewlabel-ctor
+func NewViewLabel() *ViewLabel {
+	vl := &ViewLabel{included: map[int]bool{}, inRec: map[int]*recChain{}}
+	vl.start = 7
+	vl.included[1] = true
+	vl.inRec[1] = &recChain{prefixes: []int{1}}
+	return vl
+}
+
+func (vl *ViewLabel) Reset() {
+	vl.start = 0           // want `write to core\.ViewLabel state outside the construction path`
+	vl.included[2] = true  // want `write to core\.ViewLabel state outside the construction path`
+	delete(vl.included, 1) // want `write to core\.ViewLabel state outside the construction path`
+}
+
+func (vl *ViewLabel) Shrink() {
+	vl.inRec[1].prefixes = nil // want `write to core\.recChain state outside the construction path`
+}
+
+// WithStart clones by value: direct field writes land on the private copy
+// (the WithMatrixFree idiom), but writes through the copy's maps still reach
+// the shared containers.
+func (vl *ViewLabel) WithStart(s int) *ViewLabel {
+	c := *vl
+	c.start = s
+	c.included[3] = true // want `write to core\.ViewLabel state outside the construction path`
+	return &c
+}
+
+// Sanctioned proves the suppression mechanism: the annotated write below
+// must produce no diagnostic.
+func (vl *ViewLabel) Sanctioned() {
+	//lint:ignore immutafter fixture exercises the reviewed-exception escape hatch
+	vl.start = 1
+}

@@ -1,0 +1,12 @@
+package pubatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pubatomic"
+)
+
+func TestPubatomic(t *testing.T) {
+	analysistest.Run(t, "testdata", pubatomic.Analyzer, "repro/internal/live")
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// surviving findings: diagnostics minus the ones suppressed by //lint:ignore
+// directives, plus one synthetic finding per malformed directive (an ignore
+// without a reason defeats the point of mandatory justification).
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			PkgPath:   pkg.PkgPath,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	ignores, bad := collectIgnores(fset, pkg.Files)
+	findings = suppress(findings, ignores)
+	findings = append(findings, bad...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet records, per file, the line-scoped and file-scoped suppression
+// directives.
+type ignoreSet struct {
+	// byLine maps filename -> line of the directive -> analyzer names.
+	byLine map[string]map[int][]string
+	// byFile maps filename -> analyzer names silenced for the whole file.
+	byFile map[string][]string
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Finding) {
+	set := ignoreSet{byLine: map[string]map[int][]string{}, byFile: map[string][]string{}}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, fileWide, ok := cutIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason, _ := strings.Cut(text, " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "lintdir",
+						Position: pos,
+						Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				split := strings.Split(names, ",")
+				if fileWide {
+					set.byFile[pos.Filename] = append(set.byFile[pos.Filename], split...)
+					continue
+				}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], split...)
+			}
+		}
+	}
+	return set, bad
+}
+
+// cutIgnore splits a //lint:ignore or //lint:file-ignore comment into its
+// payload, reporting which form it was.
+func cutIgnore(comment string) (payload string, fileWide, ok bool) {
+	if rest, found := strings.CutPrefix(comment, "//lint:ignore "); found {
+		return strings.TrimSpace(rest), false, true
+	}
+	if rest, found := strings.CutPrefix(comment, "//lint:file-ignore "); found {
+		return strings.TrimSpace(rest), true, true
+	}
+	return "", false, false
+}
+
+func suppress(findings []Finding, ignores ignoreSet) []Finding {
+	matches := func(names []string, analyzer string) bool {
+		for _, n := range names {
+			if strings.TrimSpace(n) == analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if matches(ignores.byFile[f.Position.Filename], f.Analyzer) {
+			continue
+		}
+		// A line directive covers findings on its own line (trailing
+		// comment) and on the line directly below it (comment above the
+		// offending statement).
+		if lines := ignores.byLine[f.Position.Filename]; lines != nil &&
+			(matches(lines[f.Position.Line], f.Analyzer) || matches(lines[f.Position.Line-1], f.Analyzer)) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// HasDirective reports whether a declaration's doc comment carries the given
+// machine directive (for example //fvlvet:fs-boundary). Directives are
+// whole-line comments; trailing explanation text after the directive name is
+// allowed.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The loader never
+// feeds test files to analyzers, but the unitchecker driver (run by go vet)
+// receives them as part of test variant packages and the analyzers must not
+// fire there.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// incAnalyzer flags every ++ statement — a minimal analyzer for exercising
+// the suppression machinery without any type information.
+var incAnalyzer = &Analyzer{
+	Name: "inc",
+	Doc:  "flags increments (test analyzer)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.IncDecStmt); ok && s.Tok == token.INC {
+					p.Reportf(s.Pos(), "increment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOnSource(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunPackage(fset, &Package{PkgPath: "p", Files: []*ast.File{f}}, []*Analyzer{incAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestSuppression(t *testing.T) {
+	findings := runOnSource(t, `package p
+
+func f() {
+	x := 0
+	x++
+	//lint:ignore inc directive on the line above covers the statement
+	x++
+	x++ //lint:ignore inc trailing directive covers its own line
+	//lint:ignore other,inc a list names several analyzers
+	x++
+	_ = x
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the unsuppressed increment, got %v", findings)
+	}
+	if findings[0].Analyzer != "inc" || findings[0].Position.Line != 5 {
+		t.Errorf("surviving finding should be the bare x++ on line 5, got %v", findings[0])
+	}
+}
+
+func TestFileIgnore(t *testing.T) {
+	findings := runOnSource(t, `//lint:file-ignore inc the whole file is a reviewed exception
+
+package p
+
+func f() {
+	x := 0
+	x++
+	x++
+	_ = x
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("file-ignore should silence every finding, got %v", findings)
+	}
+}
+
+func TestMalformedIgnoreIsItselfAFinding(t *testing.T) {
+	findings := runOnSource(t, `package p
+
+func f() {
+	x := 0
+	//lint:ignore inc
+	x++
+	_ = x
+}
+`)
+	var analyzers []string
+	for _, f := range findings {
+		analyzers = append(analyzers, f.Analyzer)
+	}
+	if len(findings) != 2 || analyzers[0] != "lintdir" || analyzers[1] != "inc" {
+		t.Fatalf("a reason-less ignore must report lintdir and suppress nothing, got %v", findings)
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// next builds the thing.
+//
+//fvlvet:prepublish runs before the value escapes
+func next() {}
+
+// plain has no directive, only prose mentioning fvlvet:prepublish inline.
+func plain() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			got = append(got, HasDirective(fd.Doc, "fvlvet:prepublish"))
+		}
+	}
+	if len(got) != 2 || !got[0] || got[1] {
+		t.Errorf("HasDirective = %v, want [true false]", got)
+	}
+}

@@ -1,0 +1,39 @@
+package suite_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// TestRepoIsClean is the dogfood lock: the whole module stays free of suite
+// findings. Every invariant violation is either fixed or carries a reviewed
+// //lint:ignore justification, so a finding here is a regression against
+// DESIGN.md's "Enforced invariants" — fix the code or annotate the reviewed
+// exception; do not weaken the analyzer.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader("repro", root)
+	targets, err := loader.Targets([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range targets {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(loader.Fset, pkg, suite.All())
+		if err != nil {
+			t.Fatalf("running the suite on %s: %v", path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

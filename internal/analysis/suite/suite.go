@@ -1,0 +1,36 @@
+// Package suite registers the repo's analyzers in one place, so the drivers
+// (cmd/fvlvet in both standalone and go vet -vettool modes, and the
+// self-clean regression test) agree on what "the suite" means.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/closecheck"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/faultwrap"
+	"repro/internal/analysis/immutafter"
+	"repro/internal/analysis/pubatomic"
+	"repro/internal/analysis/syncrename"
+)
+
+// All returns the full analyzer suite in a stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		closecheck.Analyzer,
+		ctxflow.Analyzer,
+		faultwrap.Analyzer,
+		immutafter.Analyzer,
+		pubatomic.Analyzer,
+		syncrename.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

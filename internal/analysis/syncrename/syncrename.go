@@ -1,0 +1,84 @@
+// Package syncrename enforces the PR 6 durability discipline: artifacts
+// reach the filesystem through sync-then-rename, never through a bare
+// create-and-write. A snapshot, manifest or exported file written with
+// os.Create/os.WriteFile can be torn by a crash mid-write; the repo's two
+// sanctioned paths — labelstore.WriteFileAtomic (re-exported as
+// fvl.WriteFileAtomic for the CLIs) and the durable.FS boundary with its
+// explicit Sync/SyncDir protocol — exist so that can't happen.
+//
+// The analyzer flags direct calls to os.Rename, os.WriteFile, os.Create and
+// writable os.OpenFile in non-test code. The reviewed choke points that
+// implement the discipline itself (WriteFileAtomic, the DirFS methods) are
+// marked with a //fvlvet:fs-boundary directive on the function declaration;
+// everything else either goes through them or carries a //lint:ignore with a
+// written justification. os.CreateTemp stays legal: temporary files are the
+// raw material of the rename protocol and never survive a crash as a
+// presentable artifact.
+package syncrename
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the syncrename check.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncrename",
+	Doc: "flags direct os.Rename/os.Create/os.WriteFile/writable os.OpenFile calls that bypass the " +
+		"sync-then-rename helpers (WriteFileAtomic, durable.FS); mark reviewed choke points //fvlvet:fs-boundary",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.EachFunc(file, func(fd *ast.FuncDecl) {
+			if analysis.HasDirective(fd.Doc, "fvlvet:fs-boundary") || fd.Body == nil {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := analysis.Callee(pass.TypesInfo, call)
+				switch {
+				case analysis.IsPkgFunc(obj, "os", "Rename"),
+					analysis.IsPkgFunc(obj, "os", "WriteFile"),
+					analysis.IsPkgFunc(obj, "os", "Create"):
+					pass.Reportf(call.Pos(), "direct os.%s bypasses the sync-then-rename discipline; write through "+
+						"WriteFileAtomic or the durable.FS boundary, or mark a reviewed choke point with //fvlvet:fs-boundary", obj.Name())
+				case analysis.IsPkgFunc(obj, "os", "OpenFile"):
+					if len(call.Args) >= 2 && writableFlags(pass.TypesInfo, call.Args[1]) {
+						pass.Reportf(call.Pos(), "writable os.OpenFile bypasses the sync-then-rename discipline; write through "+
+							"WriteFileAtomic or the durable.FS boundary, or mark a reviewed choke point with //fvlvet:fs-boundary")
+					}
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// writableFlags reports whether the OpenFile flag expression provably
+// includes O_WRONLY or O_RDWR. Unknown (non-constant) flags are treated as
+// writable: the discipline is the default, read-only opens are the special
+// case that must be provable.
+func writableFlags(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return true
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return true
+	}
+	// os.O_WRONLY = 1, os.O_RDWR = 2 on every platform (syscall values).
+	return v&3 != 0
+}

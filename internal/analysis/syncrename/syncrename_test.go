@@ -1,0 +1,12 @@
+package syncrename_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/syncrename"
+)
+
+func TestSyncrename(t *testing.T) {
+	analysistest.Run(t, "testdata", syncrename.Analyzer, "repro/internal/export")
+}

@@ -1,0 +1,50 @@
+// Package export exercises the syncrename fixture: artifact writes must go
+// through the sync-then-rename choke points, not bare os calls.
+package export
+
+import "os"
+
+func bad(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o666); err != nil { // want `direct os\.WriteFile bypasses the sync-then-rename discipline`
+		return err
+	}
+	return os.Rename(path, path+".new") // want `direct os\.Rename bypasses the sync-then-rename discipline`
+}
+
+func badOpen(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the sync-then-rename discipline`
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	g, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666) // want `writable os\.OpenFile bypasses the sync-then-rename discipline`
+	if err != nil {
+		return err
+	}
+	return g.Close()
+}
+
+func allowed(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0) // provably read-only: no finding
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	t, err := os.CreateTemp("", "probe-*") // temp files feed the rename protocol: no finding
+	if err != nil {
+		return err
+	}
+	return t.Close()
+}
+
+// boundary is the reviewed choke point that implements the discipline, so
+// its own os.Rename is the point.
+//
+//fvlvet:fs-boundary
+func boundary(oldname, newname string) error {
+	return os.Rename(oldname, newname)
+}

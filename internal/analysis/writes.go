@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Write is one syntactic mutation site: an assignment target, the operand of
+// ++/--, or the container argument of the delete and clear builtins.
+type Write struct {
+	// Lhs is the full expression being written through.
+	Lhs ast.Expr
+	// Pos anchors the diagnostic.
+	Pos token.Pos
+}
+
+// EachWrite calls fn for every mutation site in the subtree rooted at n,
+// including those inside function literals.
+func EachWrite(info *types.Info, n ast.Node, fn func(Write)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				fn(Write{Lhs: lhs, Pos: lhs.Pos()})
+			}
+		case *ast.IncDecStmt:
+			fn(Write{Lhs: s.X, Pos: s.X.Pos()})
+		case *ast.CallExpr:
+			if b, ok := Callee(info, s).(*types.Builtin); ok && len(s.Args) > 0 {
+				if name := b.Name(); name == "delete" || name == "clear" {
+					fn(Write{Lhs: s.Args[0], Pos: s.Args[0].Pos()})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// WriteTarget describes how a write reaches a matched type.
+type WriteTarget struct {
+	// Sel is the field selector through which the write happens.
+	Sel *ast.SelectorExpr
+	// Base is the expression of the matched type (the selector's operand).
+	Base ast.Expr
+	// ViaContainer is true when the write passes through an index expression
+	// or pointer dereference below the field selector — mutating state the
+	// matched value merely points to, which shallow copies share.
+	ViaContainer bool
+	// BasePointer is true when Base is a pointer to the matched type.
+	BasePointer bool
+}
+
+// MatchWrite walks down a write's left-hand side and reports the outermost
+// field selector whose operand type (possibly behind a pointer) satisfies
+// match. It returns false when the write never touches a matched type.
+func MatchWrite(info *types.Info, lhs ast.Expr, match func(*types.Named) bool) (WriteTarget, bool) {
+	via := false
+	cur := lhs
+	for {
+		switch e := cur.(type) {
+		case *ast.ParenExpr:
+			cur = e.X
+		case *ast.IndexExpr:
+			via = true
+			cur = e.X
+		case *ast.StarExpr:
+			via = true
+			cur = e.X
+		case *ast.SelectorExpr:
+			bt := info.TypeOf(e.X)
+			if n := Named(bt); n != nil && match(n) {
+				_, isPtr := types.Unalias(bt).(*types.Pointer)
+				return WriteTarget{Sel: e, Base: e.X, ViaContainer: via, BasePointer: isPtr}, true
+			}
+			cur = e.X
+		default:
+			return WriteTarget{}, false
+		}
+	}
+}
+
+// IsLocalValueVar reports whether e names a function-local, non-field
+// variable — the one kind of base a direct field write cannot leak through,
+// because the write lands on the local copy.
+func IsLocalValueVar(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}

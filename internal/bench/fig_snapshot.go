@@ -87,7 +87,7 @@ func SnapshotServing(cfg Config) (*Table, error) {
 		for i, s := range samples {
 			ans, err := fresh.DependsOn(s.d1, s.d2)
 			if ans != loadedAns[i] || (err != nil) != loadedErr[i] {
-				return nil, fmt.Errorf("view %q (%v): query %d diverged: loaded (%v, err=%v) vs fresh (%v, %v)",
+				return nil, fmt.Errorf("view %q (%v): query %d diverged: loaded (%v, err=%v) vs fresh (%v, %w)",
 					v.Name, loaded.Variant(), i, loadedAns[i], loadedErr[i], ans, err)
 			}
 		}

@@ -46,7 +46,8 @@ func New(rows, cols int) *Matrix {
 }
 
 // Zero reshapes dst into a rows x cols all-false matrix, reusing its storage
-// when the capacity suffices, and returns it. A nil dst allocates. This is
+// when the capacity suffices, and returns it. A nil dst allocates; negative
+// dimensions panic, matching New. This is
 // the entry point of the In variants: repeated kernels on matrices of
 // similar shape stop allocating after the first call.
 func Zero(dst *Matrix, rows, cols int) *Matrix {
@@ -65,7 +66,8 @@ func Zero(dst *Matrix, rows, cols int) *Matrix {
 }
 
 // Ones reshapes dst into a rows x cols all-true matrix, reusing its storage
-// when the capacity suffices, and returns it. A nil dst allocates.
+// when the capacity suffices, and returns it. A nil dst allocates; negative
+// dimensions panic, matching New.
 func Ones(dst *Matrix, rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("boolmat: negative dimension %dx%d", rows, cols))
@@ -99,7 +101,7 @@ func Full(rows, cols int) *Matrix {
 }
 
 // FromRows builds a matrix from a slice of rows. All rows must have the same
-// length. An empty input yields the 0x0 matrix.
+// length (ragged input panics). An empty input yields the 0x0 matrix.
 func FromRows(rows [][]bool) *Matrix {
 	if len(rows) == 0 {
 		return New(0, 0)
@@ -159,6 +161,8 @@ func (m *Matrix) Set(i, j int, v bool) {
 	}
 }
 
+// check panics when (i, j) lies outside the matrix: the shared bounds guard
+// of the exported accessors, mirroring the slice bounds check it replaces.
 func (m *Matrix) check(i, j int) {
 	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("boolmat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
@@ -252,7 +256,7 @@ func (m *Matrix) Transpose() *Matrix {
 
 // TransposeInto computes the transpose of m into dst, reusing dst's storage
 // when possible (a nil dst allocates), and returns the destination. dst must
-// not be m.
+// not be m; aliasing the operand panics.
 func TransposeInto(dst, m *Matrix) *Matrix {
 	if dst == m && m != nil {
 		panic("boolmat: TransposeInto destination aliases the operand")
@@ -454,7 +458,8 @@ func FindPeriod(x *Matrix) *PowerPeriod {
 	}
 }
 
-// Power returns X^k for k >= 1 using the cached periodic structure.
+// Power returns X^k for k >= 1 using the cached periodic structure; k < 1
+// panics.
 func (pp *PowerPeriod) Power(k int) *Matrix {
 	if k < 1 {
 		panic("boolmat: PowerPeriod.Power requires k >= 1")

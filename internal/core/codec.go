@@ -28,7 +28,8 @@ func (w *bitWriter) writeBits(v uint64, width int) {
 }
 
 // writeGamma writes v >= 1 in Elias-gamma code: the unary length of the
-// binary representation followed by its low-order bits.
+// binary representation followed by its low-order bits. Values below 1 are
+// unencodable and panic; callers shift their ranges to be >= 1.
 func (w *bitWriter) writeGamma(v uint64) {
 	if v < 1 {
 		panic("core: gamma code requires v >= 1")

@@ -82,6 +82,8 @@ func (vl *ViewLabel) Freeze() *FrozenLabel {
 // range, so a snapshot that passes RestoreView can be served without the
 // decode path ever indexing out of bounds. Structural damage yields an
 // error, never a panic.
+//
+//fvlvet:viewlabel-ctor
 func (s *Scheme) RestoreView(v *view.View, f *FrozenLabel) (*ViewLabel, error) {
 	if v == nil || f == nil {
 		return nil, fmt.Errorf("core: RestoreView requires a view and a frozen label")

@@ -129,6 +129,8 @@ func (vl *ViewLabel) WithMatrixFree() *ViewLabel {
 // LabelView computes φv(U) for a safe view over the scheme's specification
 // (Section 4.3). It fails when the view belongs to a different specification
 // or is unsafe.
+//
+//fvlvet:viewlabel-ctor
 func (s *Scheme) LabelView(v *view.View, variant Variant) (*ViewLabel, error) {
 	if v.Spec != s.Spec {
 		return nil, fmt.Errorf("core: view %q is defined over a different specification: %w", v.Name, faults.ErrForeignLabel)
@@ -198,6 +200,8 @@ func (s *Scheme) LabelView(v *view.View, variant Variant) (*ViewLabel, error) {
 // buildRecursionCaches materializes, for every cycle of the production graph
 // that survives in the view and every starting offset, the prefix products
 // and the periodic powers of the I and O matrices along the cycle.
+//
+//fvlvet:viewlabel-ctor
 func (vl *ViewLabel) buildRecursionCaches() error {
 	vl.inRec = map[[2]int]*recChain{}
 	vl.outRec = map[[2]int]*recChain{}

@@ -53,9 +53,13 @@ type DirFS struct{}
 func (DirFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o777) }
 
 // Create implements FS.
+//
+//fvlvet:fs-boundary
 func (DirFS) Create(name string) (File, error) { return os.Create(name) }
 
 // Append implements FS.
+//
+//fvlvet:fs-boundary
 func (DirFS) Append(name string) (File, error) {
 	return os.OpenFile(name, os.O_WRONLY|os.O_APPEND, 0o666)
 }
@@ -77,6 +81,8 @@ func (DirFS) ReadDir(dir string) ([]string, error) {
 }
 
 // Rename implements FS.
+//
+//fvlvet:fs-boundary
 func (DirFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
 
 // Remove implements FS.

@@ -12,6 +12,8 @@ import (
 // directory is atomic on POSIX filesystems); finally the directory itself is
 // synced so the rename is durable too. On any failure the temporary file is
 // removed and path is untouched.
+//
+//fvlvet:fs-boundary
 func WriteFileAtomic(path string, write func(f *os.File) error) (err error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")

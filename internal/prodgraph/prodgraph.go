@@ -39,7 +39,8 @@ type Cycle struct {
 func (c Cycle) Len() int { return len(c.Edges) }
 
 // EdgeAt returns the t-th edge of the cycle (1-based) with wraparound, i.e.
-// the paper's convention k_{a+l} = k_a, i_{a+l} = i_a.
+// the paper's convention k_{a+l} = k_a, i_{a+l} = i_a. Positions below 1
+// panic.
 func (c Cycle) EdgeAt(t int) Edge {
 	if t < 1 {
 		panic("prodgraph: cycle edge position must be >= 1")

@@ -101,7 +101,7 @@ func (b *Builder) Production(lhs string, rhs *SimpleWorkflow) *Builder {
 // The grammar is validated.
 func (b *Builder) Grammar() (*Grammar, error) {
 	if len(b.errs) > 0 {
-		return nil, fmt.Errorf("workflow builder: %v", b.errs[0])
+		return nil, fmt.Errorf("workflow builder: %w", b.errs[0])
 	}
 	if err := b.grammar.Validate(); err != nil {
 		return nil, err
@@ -155,7 +155,9 @@ func (wb *WorkflowBuilder) Node(module string, label ...string) int {
 }
 
 // Edge adds a data edge from output port fromPort of the occurrence labelled
-// from to input port toPort of the occurrence labelled to.
+// from to input port toPort of the occurrence labelled to. Unknown labels
+// panic: the builder is a literal-construction DSL, so a bad label is a
+// programming error at the call site, not runtime input.
 func (wb *WorkflowBuilder) Edge(from string, fromPort int, to string, toPort int) *WorkflowBuilder {
 	fi, ok := wb.names[from]
 	if !ok {
