@@ -11,6 +11,13 @@
 //	wfcheck -workload bioaid -verbose
 //	wfcheck -workload synthetic -depth 6 -degree 4 -size 40 -recursion 2
 //	wfcheck -load labels.fvl
+//	wfcheck -query 'union(deps(7),revdeps(10))'
+//	wfcheck -load labels.fvl -query 'between("security","security")'
+//
+// -query validates a set-query expression (the canonical IR text of
+// fvl.ParseQueryExpr) and prints its canonical form and result kind; with
+// -load it also compiles the expression against every view the snapshot
+// serves and prints the access paths the planner picks.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/fvl"
 )
@@ -27,6 +35,7 @@ func main() {
 	specFile := flag.String("spec", "", "analyze a specification from a JSON file instead of a bundled workload")
 	load := flag.String("load", "", "validate a label snapshot (written by wflabel -snapshot) and analyze its specification")
 	export := flag.String("export", "", "write the analyzed specification to this JSON file")
+	queryText := flag.String("query", "", "validate a set-query expression; with -load, also print the planner's access paths per served view")
 	verbose := flag.Bool("verbose", false, "print the full dependency assignment and every production-graph edge")
 	depth := flag.Int("depth", 4, "synthetic: nesting depth")
 	degree := flag.Int("degree", 4, "synthetic: module degree")
@@ -47,8 +56,9 @@ func main() {
 		}
 		*workload = *specFile
 	}
+	var svc *fvl.Service
 	if *load != "" {
-		svc, err := fvl.OpenSnapshotFile(*load)
+		svc, err = fvl.OpenSnapshotFile(*load)
 		if err != nil {
 			log.Fatalf("loading snapshot %s: %v", *load, err)
 		}
@@ -75,6 +85,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote specification to %s\n", *export)
+	}
+
+	if *queryText != "" {
+		q, err := fvl.ParseQueryExpr(*queryText)
+		if err != nil {
+			log.Fatalf("-query: %v", err)
+		}
+		kind := "items"
+		if q.Pairs() {
+			kind = "item pairs"
+		}
+		fmt.Printf("set query:            %s (answers with %s)\n", q, kind)
+		if svc != nil {
+			// Compile against every served view to show which access paths
+			// the planner picks over the snapshot's labels.
+			for _, name := range svc.Views() {
+				plan, err := svc.ExplainQuery(name, q)
+				if err != nil {
+					fmt.Printf("  view %-14s %v\n", name+":", err)
+					continue
+				}
+				fmt.Printf("  view %s:\n", name)
+				for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+			}
+		}
+		fmt.Println()
 	}
 
 	a := spec.Analyze()

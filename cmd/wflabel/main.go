@@ -6,9 +6,16 @@
 // Usage:
 //
 //	wflabel -workload paper -size 100 -view security -query 7,10
+//	wflabel -workload paper -size 100 -view security -query 'deps(7)'
+//	wflabel -workload paper -view security -query 'union(deps(7),revdeps(10))'
 //	wflabel -workload bioaid -size 2000 -view black-box:8 -labels
 //	wflabel -workload paper -stats
 //	wflabel -workload bioaid -view grey-box:8 -snapshot labels.fvl
+//
+// -query accepts either a point query ("d1,d2": does d2 depend on d1?) or a
+// set-query expression in the canonical IR text — deps(x), revdeps(x),
+// between("A","B"), explain(x,...), union/intersect/project — answered by the
+// planner over bitset-row scans instead of one point query per candidate.
 package main
 
 import (
@@ -31,7 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for the derivation")
 	viewSpec := flag.String("view", "default", "view to query: default, security, abstraction (paper workload), or white-box:N / grey-box:N / black-box:N for a random view with N expandable composites")
 	variantName := flag.String("variant", "query-efficient", "view label variant: space-efficient, materialized, query-efficient")
-	query := flag.String("query", "", "comma-separated pair of data item IDs d1,d2: ask whether d2 depends on d1")
+	query := flag.String("query", "", "a point query \"d1,d2\" (does d2 depend on d1?) or a set-query expression like deps(7) or between(\"security\",\"default\")")
 	showLabels := flag.Bool("labels", false, "print every data label")
 	stats := flag.Bool("stats", false, "print label length statistics")
 	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or fvl.OpenSnapshot)")
@@ -167,6 +174,44 @@ func main() {
 		}
 		fmt.Printf("\nlabel length: avg %.1f bits, max %d bits over %d items\n",
 			float64(total)/float64(r.Size()), max, r.Size())
+	}
+
+	if strings.Contains(*query, "(") {
+		// A set-query expression: answered by the planner over bitset-row
+		// scans. The live session answers at a pinned epoch; otherwise a
+		// service serving the selected view answers over the completed run.
+		q, err := fvl.ParseQueryExpr(*query)
+		if err != nil {
+			log.Fatalf("-query: %v", err)
+		}
+		var a *fvl.SetAnswer
+		if sess != nil {
+			var epoch uint64
+			a, epoch, err = sess.Query(ctx, v.Name(), q)
+			if err != nil {
+				log.Fatalf("set query failed: %v", err)
+			}
+			fmt.Printf("\nset query %s under view %q at epoch %d:\n", q, v.Name(), epoch)
+		} else {
+			svc, err := fvl.Open(ctx, spec, []*fvl.View{v}, fvl.WithVariant(variant))
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err = svc.Query(ctx, v.Name(), labels, q)
+			if err != nil {
+				log.Fatalf("set query failed: %v", err)
+			}
+			fmt.Printf("\nset query %s under view %q:\n", q, v.Name())
+		}
+		if q.Pairs() {
+			fmt.Printf("  %d pairs: %v\n", len(a.Pairs), a.Pairs)
+		} else {
+			fmt.Printf("  %d items: %v\n", len(a.Items), a.Items)
+		}
+		for _, line := range strings.Split(strings.TrimRight(a.Plan, "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+		return
 	}
 
 	if *query != "" {

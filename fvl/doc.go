@@ -50,6 +50,17 @@
 // claim blocks, multi-view labeling stops between views, run labeling stops
 // between derivation steps.
 //
+// # Set queries
+//
+// Beyond point queries, QueryExpr describes whole answer sets — DepsOf,
+// RevDepsOf, BetweenViews, ExplainOutputs, combined with Union, Intersect
+// and Project — and Service.Query / Session.Query answer them with planned
+// bitset-row scans over the view-label matrices, orders of magnitude faster
+// than looping point queries over every candidate. ParseQueryExpr decodes
+// the canonical text form ("union(deps(7),revdeps(10))", the same language
+// the wflabel and wfcheck -query flags accept), and Service.ExplainQuery
+// shows the access paths the planner picks without executing anything.
+//
 // # Errors
 //
 // Failures wrap the package's sentinel errors (ErrUnknownView,

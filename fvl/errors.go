@@ -72,4 +72,9 @@ var (
 	// the specification on replay — the journal belongs to a different run
 	// or was damaged without tripping the structural checks.
 	ErrInvalidStep = faults.ErrInvalidStep
+
+	// ErrInvalidQuery: a set-query expression failed to parse or compile —
+	// a syntax error in the query text, a union/intersect over operands of
+	// different result kinds, or a projection side outside {1, 2}.
+	ErrInvalidQuery = faults.ErrInvalidQuery
 )

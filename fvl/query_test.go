@@ -1,0 +1,420 @@
+package fvl_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/fvl"
+)
+
+// labelFunc abstracts the two label resolvers the set-query surfaces pin:
+// a completed run's RunLabels and a live Session's current prefix.
+type labelFunc func(itemID int) (*fvl.Label, bool)
+
+// oracleDeps answers Deps(x) by brute force: one point query per candidate,
+// including exactly the candidates whose point query answers (true, nil).
+func oracleDeps(vl *fvl.ViewLabel, label labelFunc, n, x int, reverse bool) []int {
+	lx, ok := label(x)
+	if !ok {
+		return nil
+	}
+	out := []int{}
+	for y := 1; y <= n; y++ {
+		ly, ok := label(y)
+		if !ok {
+			continue
+		}
+		var dep bool
+		var err error
+		if reverse {
+			dep, err = vl.DependsOn(lx, ly)
+		} else {
+			dep, err = vl.DependsOn(ly, lx)
+		}
+		if err == nil && dep {
+			out = append(out, y)
+		}
+	}
+	_ = lx
+	return out
+}
+
+// oracleBetween answers between(viewA, viewB) under primary by brute force
+// over all ordered pairs.
+func oracleBetween(primary, va, vb *fvl.ViewLabel, label labelFunc, n int) [][2]int {
+	out := [][2]int{}
+	for a := 1; a <= n; a++ {
+		la, ok := label(a)
+		if !ok || !va.Visible(la) {
+			continue
+		}
+		for b := 1; b <= n; b++ {
+			lb, ok := label(b)
+			if !ok || !vb.Visible(lb) {
+				continue
+			}
+			dep, err := primary.DependsOn(la, lb)
+			if err == nil && dep {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func sameItems(t *testing.T, ctxMsg string, got []int, want []int) {
+	t.Helper()
+	if got == nil {
+		got = []int{}
+	}
+	if want == nil {
+		want = []int{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: got %v, want %v", ctxMsg, got, want)
+	}
+}
+
+type diffWorkload struct {
+	name    string
+	spec    *fvl.Spec
+	views   func(t *testing.T, s *fvl.Spec) []*fvl.View
+	runSize int
+	seed    int64
+}
+
+func diffWorkloads(t *testing.T) []diffWorkload {
+	t.Helper()
+	mustView := func(v *fvl.View, err error) *fvl.View {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	return []diffWorkload{
+		{
+			name: "paper",
+			spec: fvl.PaperExample(),
+			views: func(t *testing.T, s *fvl.Spec) []*fvl.View {
+				return []*fvl.View{
+					mustView(fvl.SecurityView(s)),
+					mustView(fvl.AbstractionView(s)),
+				}
+			},
+			runSize: 60, seed: 11,
+		},
+		{
+			name: "bioaid",
+			spec: fvl.BioAID(),
+			views: func(t *testing.T, s *fvl.Spec) []*fvl.View {
+				return []*fvl.View{
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "grey", Composites: 8, Mode: fvl.GreyBox, Seed: 4})),
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "other", Composites: 5, Mode: fvl.GreyBox, Seed: 9})),
+				}
+			},
+			runSize: 90, seed: 23,
+		},
+		{
+			name: "synthetic",
+			spec: fvl.Synthetic(fvl.DefaultSyntheticParams()),
+			views: func(t *testing.T, s *fvl.Spec) []*fvl.View {
+				return []*fvl.View{
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "viewA", Composites: 6, Mode: fvl.GreyBox, Seed: 3})),
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "viewB", Composites: 4, Mode: fvl.GreyBox, Seed: 8})),
+				}
+			},
+			runSize: 80, seed: 31,
+		},
+		{
+			name: "random",
+			spec: fvl.Synthetic(fvl.SyntheticParams{WorkflowSize: 24, ModuleDegree: 6, NestingDepth: 2, RecursionLength: 3}),
+			views: func(t *testing.T, s *fvl.Spec) []*fvl.View {
+				return []*fvl.View{
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "randA", Composites: 5, Mode: fvl.GreyBox, Seed: 17})),
+					mustView(fvl.RandomView(s, fvl.ViewOptions{Name: "randB", Composites: 7, Mode: fvl.GreyBox, Seed: 29})),
+				}
+			},
+			runSize: 70, seed: 41,
+		},
+	}
+}
+
+// TestSetQueriesMatchPointQueryOracle is the differential oracle of the
+// set-query subsystem: on every workload and under every serving variant,
+// every set answer must be identical to the brute-force loop of point
+// queries over the same labels — including the error semantics for hidden
+// and unknown targets.
+func TestSetQueriesMatchPointQueryOracle(t *testing.T) {
+	ctx := context.Background()
+	for _, w := range diffWorkloads(t) {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			views := w.views(t, w.spec)
+			run, err := fvl.RandomRun(w.spec, fvl.RunOptions{TargetSize: w.runSize, Seed: w.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, variant := range []fvl.Variant{fvl.SpaceEfficient, fvl.Materialized, fvl.QueryEfficient} {
+				variant := variant
+				t.Run(variant.String(), func(t *testing.T) {
+					svc, err := fvl.Open(ctx, w.spec, views, fvl.WithVariant(variant), fvl.WithWorkers(2))
+					if err != nil {
+						t.Fatal(err)
+					}
+					labels, err := svc.NewLabeler().Label(ctx, run)
+					if err != nil {
+						t.Fatal(err)
+					}
+					n := labels.Count()
+					primary, secondary := views[0].Name(), views[1].Name()
+					pvl, _ := svc.ViewLabel(primary)
+					avl, _ := svc.ViewLabel(primary)
+					bvl, _ := svc.ViewLabel(secondary)
+
+					// Every deps(x)/revdeps(x), including hidden targets.
+					for x := 1; x <= n; x++ {
+						lx, _ := labels.Label(x)
+						hidden := !pvl.Visible(lx)
+						for _, reverse := range []bool{false, true} {
+							q := fvl.DepsOf(x)
+							kind := "deps"
+							if reverse {
+								q, kind = fvl.RevDepsOf(x), "revdeps"
+							}
+							a, err := svc.Query(ctx, primary, labels, q)
+							if hidden {
+								if !errors.Is(err, fvl.ErrHiddenItem) {
+									t.Fatalf("%s(%d) on hidden target: got err %v, want ErrHiddenItem", kind, x, err)
+								}
+								continue
+							}
+							if err != nil {
+								t.Fatalf("%s(%d): %v", kind, x, err)
+							}
+							sameItems(t, fmt.Sprintf("%s(%d)", kind, x),
+								a.Items, oracleDeps(pvl, labels.Label, n, x, reverse))
+						}
+					}
+
+					// Unknown targets.
+					if _, err := svc.Query(ctx, primary, labels, fvl.DepsOf(n+7)); !errors.Is(err, fvl.ErrUnknownItem) {
+						t.Fatalf("deps(unknown): got err %v, want ErrUnknownItem", err)
+					}
+
+					// between(primary, secondary) under primary.
+					ans, err := svc.Query(ctx, primary, labels, fvl.BetweenViews(primary, secondary))
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantPairs := oracleBetween(pvl, avl, bvl, labels.Label, n)
+					if len(wantPairs) == 0 {
+						wantPairs = nil
+					}
+					if !reflect.DeepEqual(ans.Pairs, wantPairs) {
+						t.Fatalf("between: got %v, want %v", ans.Pairs, wantPairs)
+					}
+
+					// explain over the final outputs: union of visible
+					// outputs' deps restricted to initial inputs.
+					var outs, initials []int
+					for x := 1; x <= n; x++ {
+						lx, _ := labels.Label(x)
+						if lx.IsFinalOutput() {
+							outs = append(outs, x)
+						}
+						if lx.IsInitialInput() {
+							initials = append(initials, x)
+						}
+					}
+					if len(outs) > 0 {
+						a, err := svc.Query(ctx, primary, labels, fvl.ExplainOutputs(outs...))
+						if err != nil {
+							t.Fatal(err)
+						}
+						seen := map[int]bool{}
+						for _, x := range outs {
+							lx, _ := labels.Label(x)
+							if !pvl.Visible(lx) {
+								continue
+							}
+							for _, y := range oracleDeps(pvl, labels.Label, n, x, false) {
+								seen[y] = true
+							}
+						}
+						var want []int
+						for _, y := range initials {
+							if seen[y] {
+								want = append(want, y)
+							}
+						}
+						sort.Ints(want)
+						sameItems(t, "explain(outputs)", a.Items, want)
+					}
+
+					// Combinators against set algebra over the oracle.
+					x1, x2 := pickVisible(t, pvl, labels.Label, n, 0), pickVisible(t, pvl, labels.Label, n, 1)
+					if x1 > 0 && x2 > 0 {
+						d1 := oracleDeps(pvl, labels.Label, n, x1, false)
+						r2 := oracleDeps(pvl, labels.Label, n, x2, true)
+						u, err := svc.Query(ctx, primary, labels, fvl.DepsOf(x1).Union(fvl.RevDepsOf(x2)))
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameItems(t, "union", u.Items, setUnion(d1, r2))
+						in, err := svc.Query(ctx, primary, labels, fvl.DepsOf(x1).Intersect(fvl.RevDepsOf(x2)))
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameItems(t, "intersect", in.Items, setIntersect(d1, r2))
+					}
+					for side := 1; side <= 2; side++ {
+						a, err := svc.Query(ctx, primary, labels, fvl.BetweenViews(primary, secondary).Project(side))
+						if err != nil {
+							t.Fatal(err)
+						}
+						seen := map[int]bool{}
+						for _, pr := range wantPairs {
+							seen[pr[side-1]] = true
+						}
+						var want []int
+						for y := 1; y <= n; y++ {
+							if seen[y] {
+								want = append(want, y)
+							}
+						}
+						sameItems(t, fmt.Sprintf("project(between,%d)", side), a.Items, want)
+					}
+				})
+			}
+		})
+	}
+}
+
+func pickVisible(t *testing.T, vl *fvl.ViewLabel, label labelFunc, n, skip int) int {
+	t.Helper()
+	for x := 1; x <= n; x++ {
+		lx, ok := label(x)
+		if ok && vl.Visible(lx) {
+			if skip == 0 {
+				return x
+			}
+			skip--
+		}
+	}
+	return 0
+}
+
+func setUnion(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setIntersect(a, b []int) []int {
+	inA := map[int]bool{}
+	for _, x := range a {
+		inA[x] = true
+	}
+	var out []int
+	for _, x := range b {
+		if inA[x] {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestLiveSetQueriesMatchPointQueryOracle runs the same differential oracle
+// against the live surface: a session is driven partway through a BioAID
+// run and every set answer at the pinned prefix must equal the brute-force
+// point-query loop over the same prefix, under every serving variant.
+func TestLiveSetQueriesMatchPointQueryOracle(t *testing.T) {
+	ctx := context.Background()
+	spec := fvl.BioAID()
+	vA, err := fvl.RandomView(spec, fvl.ViewOptions{Name: "grey", Composites: 8, Mode: fvl.GreyBox, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vB, err := fvl.RandomView(spec, fvl.ViewOptions{Name: "other", Composites: 5, Mode: fvl.GreyBox, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []fvl.Variant{fvl.SpaceEfficient, fvl.Materialized, fvl.QueryEfficient} {
+		variant := variant
+		t.Run(variant.String(), func(t *testing.T) {
+			svc, err := fvl.Open(ctx, spec, []*fvl.View{vA, vB}, fvl.WithVariant(variant), fvl.WithWorkers(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := svc.OpenLive()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pvl, _ := svc.ViewLabel(vA.Name())
+			bvl, _ := svc.ViewLabel(vB.Name())
+			for round := 0; round < 4; round++ {
+				drive(t, sess, sess.Epoch()+12, int64(100+round))
+				n := sess.Items()
+				for x := 1; x <= n; x++ {
+					lx, _ := sess.Label(x)
+					if !pvl.Visible(lx) {
+						if _, _, err := sess.Query(ctx, vA.Name(), fvl.DepsOf(x)); !errors.Is(err, fvl.ErrHiddenItem) {
+							t.Fatalf("live deps(%d) on hidden target: got %v", x, err)
+						}
+						continue
+					}
+					a, epoch, err := sess.Query(ctx, vA.Name(), fvl.DepsOf(x))
+					if err != nil {
+						t.Fatalf("live deps(%d): %v", x, err)
+					}
+					if epoch != sess.Epoch() {
+						t.Fatalf("live deps(%d): answered at epoch %d, session at %d", x, epoch, sess.Epoch())
+					}
+					sameItems(t, fmt.Sprintf("live deps(%d)", x),
+						a.Items, oracleDeps(pvl, sess.Label, n, x, false))
+					r, _, err := sess.Query(ctx, vA.Name(), fvl.RevDepsOf(x))
+					if err != nil {
+						t.Fatalf("live revdeps(%d): %v", x, err)
+					}
+					sameItems(t, fmt.Sprintf("live revdeps(%d)", x),
+						r.Items, oracleDeps(pvl, sess.Label, n, x, true))
+				}
+				// Items beyond the pinned prefix are unknown, exactly like the
+				// point path.
+				if _, _, err := sess.Query(ctx, vA.Name(), fvl.DepsOf(n+3)); !errors.Is(err, fvl.ErrUnknownItem) {
+					t.Fatalf("live deps(beyond prefix): got %v, want ErrUnknownItem", err)
+				}
+				ans, _, err := sess.Query(ctx, vA.Name(), fvl.BetweenViews(vA.Name(), vB.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := oracleBetween(pvl, pvl, bvl, sess.Label, n)
+				if len(want) == 0 {
+					want = nil
+				}
+				if !reflect.DeepEqual(ans.Pairs, want) {
+					t.Fatalf("live between: got %v, want %v", ans.Pairs, want)
+				}
+				if sess.IsComplete() {
+					break
+				}
+			}
+		})
+	}
+}

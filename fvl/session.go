@@ -109,6 +109,10 @@ func (s *Service) ResumeLiveFile(path string, opts ...LiveOption) (*Session, err
 type Session struct {
 	svc *Service
 	ls  *live.Session
+
+	// idx caches the set-query item index of the most recently pinned step
+	// prefix (see Session.QueryBatch).
+	idx sessionIndex
 }
 
 // Service returns the service whose views the session queries.

@@ -148,6 +148,7 @@ func All() []Experiment {
 		{"fig25", "Query time vs module degree (synthetic)", Fig25},
 		{"table1", "Impact of synthetic parameters on labeling performance", Table1},
 		{"engine", "Batch query throughput and parallel multi-view labeling vs worker count", EngineThroughput},
+		{"setquery", "Set-query plans (bitset-row scans) vs point-query loops", SetQuery},
 		{"live", "Per-step label latency and query throughput during live ingestion", LiveServing},
 		{"snapshot", "Loaded label snapshot vs freshly built labels, differential (needs -load)", SnapshotServing},
 		{"recovery", "Durable session resume latency vs checkpoint interval", Recovery},

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -117,6 +118,78 @@ func Records(cfg Config) ([]Record, error) {
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
 				if _, err := s.DependsOn(vl, p[0], p[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// Satellite record of the set-query PR: the same space-efficient point
+	// query with a plan-scoped cache attached — the alloc delta against
+	// "query/space-efficient" is the cost of rebuilding closures per query.
+	vlse, err := scheme.LabelView(v, core.VariantSpaceEfficient)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, record("query/space-efficient-plan", func(b *testing.B) {
+		s := core.NewQuerySession()
+		defer s.Close()
+		s.EnsurePlan(nil)
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			if _, err := s.DependsOn(vlse, p[0], p[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Set queries: one deps(x) row scan vs the point-query loop it replaces,
+	// per variant. The loop is the pre-planner way to materialize the same
+	// answer: one point query per candidate item.
+	idx := core.BuildItemIndex(0, labeler.Count(), labeler.Label)
+	vlTarget, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return nil, err
+	}
+	target := 0
+	{
+		s := core.NewQuerySession()
+		s.EnsurePlan(idx)
+		for x := 1; x <= idx.Items(); x++ {
+			if _, err := s.DepsRow(vlTarget, idx, x); err == nil {
+				target = x
+				break
+			}
+		}
+		s.Close()
+	}
+	if target == 0 {
+		return nil, fmt.Errorf("bench: view %q hides every item", v.Name)
+	}
+	for _, vr := range variants {
+		vl, err := scheme.LabelView(v, vr.variant)
+		if err != nil {
+			return nil, err
+		}
+		short := strings.TrimPrefix(vr.name, "query/")
+		out = append(out, record("setquery/deps-loop/"+short, func(b *testing.B) {
+			s := core.NewQuerySession()
+			defer s.Close()
+			lx, _ := labeler.Label(target)
+			for i := 0; i < b.N; i++ {
+				for y := 1; y <= idx.Items(); y++ {
+					// Per-candidate errors are excluded items, not failures.
+					ly, _ := labeler.Label(y)
+					_, _ = s.DependsOn(vl, ly, lx)
+				}
+			}
+		}))
+		out = append(out, record("setquery/deps-row/"+short, func(b *testing.B) {
+			s := core.NewQuerySession()
+			defer s.Close()
+			s.EnsurePlan(idx)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DepsRow(vl, idx, target); err != nil {
 					b.Fatal(err)
 				}
 			}

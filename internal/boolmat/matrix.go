@@ -345,6 +345,43 @@ func OrInto(dst, a, b *Matrix) *Matrix {
 	return dst
 }
 
+// And returns the element-wise conjunction of m and o.
+// It panics when dimensions differ.
+func (m *Matrix) And(o *Matrix) *Matrix {
+	return AndInto(nil, m, o)
+}
+
+// AndInto computes the element-wise conjunction of a and b into dst, reusing
+// dst's storage when possible (a nil dst allocates), and returns the
+// destination. dst may alias a or b. It panics when dimensions differ.
+func AndInto(dst, a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("boolmat: cannot AND %dx%d with %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	dst = reshape(dst, a.rows, a.cols)
+	for i := range dst.bits {
+		dst.bits[i] = a.bits[i] & b.bits[i]
+	}
+	return dst
+}
+
+// EachTrueInRow calls fn(j) for every true entry (i, j) of row i, in
+// ascending column order — the word-parallel iterator the set-query layer
+// uses to materialize a bitset row into an item-ID list. It panics when the
+// row index is out of range.
+func (m *Matrix) EachTrueInRow(i int, fn func(j int)) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("boolmat: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	for w, word := range m.row(i) {
+		base := w * wordBits
+		for word != 0 {
+			fn(base + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
 // Pow returns m raised to the k-th power under boolean matrix multiplication,
 // computed by repeated squaring in O(log k) multiplications with two reused
 // scratch matrices. Pow(0) is the identity. It panics if m is not square or

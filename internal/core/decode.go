@@ -192,56 +192,97 @@ func (vl *ViewLabel) safeGet(m *boolmat.Matrix, x, y int) (bool, error) {
 // decodeMain handles cases 1, 2a and 2b of Algorithm 2: o1 is the producing
 // port of d1, i2 is the consuming port of d2, both intermediate.
 func (vl *ViewLabel) decodeMain(qc *queryCtx, o1, i2 *PortLabel) (bool, error) {
-	l1, l2 := o1.Path, i2.Path
-	x, y := o1.Port, i2.Port
+	res, err := vl.decodeMainMatrix(qc, o1.Path, i2.Path, nil)
+	if err != nil {
+		return false, err
+	}
+	if res == nil {
+		return false, nil
+	}
+	return vl.safeGet(res, o1.Port, i2.Port)
+}
+
+// pathPair identifies the two interned tree nodes a set scan is decoding
+// between, letting decodeMainMatrix serve the path-suffix chain products from
+// the plan cache instead of recomputing them per group. A nil pathPair (the
+// point-query path) computes products directly in scratch.
+type pathPair struct {
+	idx     *ItemIndex
+	srcNode int32 // interned node of l1
+	dstNode int32 // interned node of l2
+}
+
+// decodeMainMatrix is the matrix-valued core of cases 1, 2a and 2b: given the
+// producing side's path l1 and the consuming side's path l2 (both of
+// intermediate items), it returns the full decoding matrix — rows indexed by
+// out-ports of the node at l1, columns by in-ports of the node at l2. A
+// (nil, nil) return means the case is definitely false for every port pair
+// (coinciding/ancestor nodes, or flow against production order).
+//
+// The point decoder reads a single entry of the result; the set scans read a
+// whole row or column, which is what makes one matrix chain answer a whole
+// group of items at once.
+func (vl *ViewLabel) decodeMainMatrix(qc *queryCtx, l1, l2 []EdgeLabel, pp *pathPair) (*boolmat.Matrix, error) {
+	outProd := func(from int) (*boolmat.Matrix, error) {
+		if pp != nil {
+			return vl.suffixProduct(qc, pp.idx, pp.srcNode, l1, from, true)
+		}
+		return vl.outputsProduct(qc, l1, from)
+	}
+	inProd := func(from int) (*boolmat.Matrix, error) {
+		if pp != nil {
+			return vl.suffixProduct(qc, pp.idx, pp.dstNode, l2, from, false)
+		}
+		return vl.inputsProduct(qc, l2, from)
+	}
+
 	shared := commonPrefixLen(l1, l2)
 
 	// Case 1: the two tree nodes coincide or one is an ancestor of the other;
 	// the consuming port cannot be reached from the producing port.
 	if shared == len(l1) || shared == len(l2) {
-		return false, nil
+		return nil, nil
 	}
 
 	el, er := l1[shared], l2[shared]
 	if el.Recursive != er.Recursive {
-		return false, fmt.Errorf("core: inconsistent data labels: paths diverge at %v vs %v", el, er)
+		return nil, fmt.Errorf("core: inconsistent data labels: paths diverge at %v vs %v", el, er)
 	}
 
 	if !el.Recursive {
 		// Case 2a: the least common ancestor is an ordinary node; both edges
 		// come from the same production.
 		if el.K != er.K {
-			return false, fmt.Errorf("core: inconsistent data labels: sibling edges %v and %v use different productions", el, er)
+			return nil, fmt.Errorf("core: inconsistent data labels: sibling edges %v and %v use different productions", el, er)
 		}
 		i, j := el.I, er.I
 		if i > j {
-			return false, nil
+			return nil, nil
 		}
 		z, err := vl.edgeZ(qc, el.K, i, j)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		o, err := vl.outputsProduct(qc, l1, shared+1)
+		o, err := outProd(shared + 1)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		in, err := vl.inputsProduct(qc, l2, shared+1)
+		in, err := inProd(shared + 1)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		ot := qc.transpose(o)
 		t1 := vl.mulScratch(qc, ot, z)
-		res := vl.mulScratch(qc, t1, in)
-		return vl.safeGet(res, x, y)
+		return vl.mulScratch(qc, t1, in), nil
 	}
 
 	// Case 2b: the least common ancestor is a recursive node.
 	if el.S != er.S || el.T != er.T {
-		return false, fmt.Errorf("core: inconsistent data labels: sibling recursive edges %v and %v disagree on the cycle", el, er)
+		return nil, fmt.Errorf("core: inconsistent data labels: sibling recursive edges %v and %v disagree on the cycle", el, er)
 	}
 	c, err := vl.scheme.Cycle(el.S)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	i, j := el.I, er.I
 	switch {
@@ -251,41 +292,40 @@ func (vl *ViewLabel) decodeMain(qc *queryCtx, o1, i2 *PortLabel) (bool, error) {
 		if shared+1 == len(l1) {
 			// o1 is a port of the i-th unfolded composite module itself; the
 			// j-th module is derived from it, so nothing flows forward.
-			return false, nil
+			return nil, nil
 		}
 		next := l1[shared+1]
 		if next.Recursive {
-			return false, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", el, next)
+			return nil, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", el, next)
 		}
 		ce := c.EdgeAt(el.T + i - 1) // the cycle edge leaving the i-th module
 		if next.K != ce.K {
-			return false, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
+			return nil, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
 		}
 		iPrime, jPrime := next.I, ce.I
 		if iPrime > jPrime {
-			return false, nil
+			return nil, nil
 		}
-		o, err := vl.outputsProduct(qc, l1, shared+2)
+		o, err := outProd(shared + 2)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		z, err := vl.edgeZ(qc, ce.K, iPrime, jPrime)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		iChain, err := vl.edgeMatrix(qc, RecursiveEdge(el.S, el.T+i, j-i), false)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		in, err := vl.inputsProduct(qc, l2, shared+1)
+		in, err := inProd(shared + 1)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		ot := qc.transpose(o)
 		t1 := vl.mulScratch(qc, ot, z)
 		t2 := vl.mulScratch(qc, t1, iChain)
-		res := vl.mulScratch(qc, t2, in)
-		return vl.safeGet(res, x, y)
+		return vl.mulScratch(qc, t2, in), nil
 
 	case i > j:
 		// The producing port lives in a later (more deeply nested) unfolding
@@ -294,43 +334,42 @@ func (vl *ViewLabel) decodeMain(qc *queryCtx, o1, i2 *PortLabel) (bool, error) {
 		if shared+1 == len(l2) {
 			// i2 is a port of the j-th unfolded composite module itself; a
 			// descendant's output cannot reach its ancestor's input.
-			return false, nil
+			return nil, nil
 		}
 		next := l2[shared+1]
 		if next.Recursive {
-			return false, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", er, next)
+			return nil, fmt.Errorf("core: inconsistent data labels: expected a production edge after %v, got %v", er, next)
 		}
 		ce := c.EdgeAt(el.T + j - 1) // the cycle edge leaving the j-th module
 		if next.K != ce.K {
-			return false, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
+			return nil, fmt.Errorf("core: inconsistent data labels: edge %v does not use the cycle production %d", next, ce.K)
 		}
 		rPrime, jPrime := ce.I, next.I
 		if rPrime > jPrime {
-			return false, nil
+			return nil, nil
 		}
-		o, err := vl.outputsProduct(qc, l1, shared+1)
+		o, err := outProd(shared + 1)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		oChain, err := vl.edgeMatrix(qc, RecursiveEdge(el.S, el.T+j, i-j), true)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		z, err := vl.edgeZ(qc, ce.K, rPrime, jPrime)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		in, err := vl.inputsProduct(qc, l2, shared+2)
+		in, err := inProd(shared + 2)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		ot := qc.transpose(o)
 		t1 := vl.mulScratch(qc, ot, qc.transpose(oChain))
 		t2 := vl.mulScratch(qc, t1, z)
-		res := vl.mulScratch(qc, t2, in)
-		return vl.safeGet(res, x, y)
+		return vl.mulScratch(qc, t2, in), nil
 
 	default:
-		return false, fmt.Errorf("core: inconsistent data labels: identical recursive edges %v treated as divergent", el)
+		return nil, fmt.Errorf("core: inconsistent data labels: identical recursive edges %v treated as divergent", el)
 	}
 }

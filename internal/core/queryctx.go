@@ -23,12 +23,22 @@ import (
 // born empty on every query, so the space-efficient variant pays its full
 // graph-search cost per query exactly as charged in the paper's Figure 20
 // experiment.
+//
+// The invariant can be relaxed deliberately: a context with a PlanCache
+// attached (QuerySession.EnsurePlan) routes closureFor through the plan's
+// epoch-keyed cache instead, which survives begin — that is the amortization
+// the batch engine and the set-query plans opt into.
 type queryCtx struct {
 	// closures caches on-the-fly port closures within one query so a single
 	// query does not recompute the same production twice. It is only ever
 	// populated on the graph-search path (closureFor), i.e. when the
 	// materialized matrices are absent — in practice VariantSpaceEfficient.
 	closures map[int]*safety.Closure
+
+	// plan, when non-nil, is the plan-scoped cache closures (and the
+	// set-query scans' chain products and visibility bits) are served from
+	// instead of the per-query memo above. begin never touches it.
+	plan *PlanCache
 
 	// scratch is a bump-allocated arena of matrices: every take returns a
 	// distinct slot, so no two live intermediate results of one query share
@@ -43,6 +53,13 @@ type queryCtx struct {
 func (qc *queryCtx) begin() {
 	qc.used = 0
 	clear(qc.closures)
+}
+
+// rewind resets only the bump allocator. The set-query scans use it between
+// per-group decodes: everything a group's result depends on across rewinds
+// lives in the plan cache (cloned) or in the label itself, never in scratch.
+func (qc *queryCtx) rewind() {
+	qc.used = 0
 }
 
 // take returns the index of a fresh scratch slot.
@@ -101,10 +118,55 @@ func (s *QuerySession) DependsOn(vl *ViewLabel, d1, d2 *DataLabel) (bool, error)
 	return vl.dependsOn(s.qc, d1, d2)
 }
 
+// EnsurePlan attaches a plan-scoped cache to the session and returns it:
+// closures (and, with a non-nil index, the set-query scans' chain products
+// and visibility bits) are then amortized across every query the session
+// answers, instead of being recomputed per query. Passing nil keeps whatever
+// plan is already attached (or attaches an index-free one, which amortizes
+// closures only); passing an index replaces a plan keyed to a different
+// index, because node IDs and item rows are only meaningful against the
+// index that minted them.
+//
+// The attached plan lives until Close or the next index switch; a session
+// drawn fresh from the pool always starts without one, so plain DependsOn
+// calls keep the query-state-honesty invariant unless a caller opts in.
+func (s *QuerySession) EnsurePlan(idx *ItemIndex) *PlanCache {
+	pc := s.qc.plan
+	if pc == nil || (idx != nil && pc.idx != idx) {
+		pc = newPlanCache(idx)
+		s.qc.plan = pc
+	}
+	return pc
+}
+
+// DepsRow answers the set query Deps(itemID) against vl as a bitset row:
+// bit y of the returned 1×(idx.Items()+1) row is set exactly when
+// DependsOn(label(y), label(itemID)) answers (true, nil) — everything the
+// item transitively depends on, in one row. See ViewLabel.depsRow.
+func (s *QuerySession) DepsRow(vl *ViewLabel, idx *ItemIndex, itemID int) (*boolmat.Matrix, error) {
+	return vl.depsRow(s.qc, idx, itemID)
+}
+
+// RevDepsRow answers the set query RevDeps(itemID) against vl as a bitset
+// row: bit y is set exactly when DependsOn(label(itemID), label(y)) answers
+// (true, nil) — everything that transitively depends on the item.
+func (s *QuerySession) RevDepsRow(vl *ViewLabel, idx *ItemIndex, itemID int) (*boolmat.Matrix, error) {
+	return vl.revDepsRow(s.qc, idx, itemID)
+}
+
+// VisibleRow returns the bitset row of item IDs visible in vl's view, cached
+// in the session's plan. The returned matrix is shared and must be treated
+// as read-only.
+func (s *QuerySession) VisibleRow(vl *ViewLabel, idx *ItemIndex) *boolmat.Matrix {
+	return vl.visibleRow(s.qc, idx)
+}
+
 // Close returns the session's context to the pool. The session must not be
-// used afterwards.
+// used afterwards. The plan cache (if any) is dropped so pooled contexts
+// never leak amortized state into the next session.
 func (s *QuerySession) Close() {
 	if s.qc != nil {
+		s.qc.plan = nil
 		queryCtxPool.Put(s.qc)
 		s.qc = nil
 	}

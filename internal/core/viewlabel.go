@@ -368,19 +368,27 @@ func (vl *ViewLabel) edgeZ(qc *queryCtx, k, i, j int) (*boolmat.Matrix, error) {
 	return cl.Between(i-1, j-1), nil
 }
 
-// closureFor computes (and caches in the query context, i.e. for the
-// duration of one query) the port closure of a production's right-hand side
-// under λ*′. This is the graph-search path of VariantSpaceEfficient; the
-// materialized variants never reach it, so their queries write nothing at
-// all.
+// closureFor computes (and caches for the duration of one query — or, with a
+// plan cache attached, for the lifetime of the plan) the port closure of a
+// production's right-hand side under λ*′. This is the graph-search path of
+// VariantSpaceEfficient; the materialized variants never reach it, so their
+// queries write nothing at all.
 func (vl *ViewLabel) closureFor(qc *queryCtx, k int) (*safety.Closure, error) {
-	if cl, ok := qc.closures[k]; ok {
+	if qc.plan != nil {
+		if cl, ok := qc.plan.closureFor(vl, k); ok {
+			return cl, nil
+		}
+	} else if cl, ok := qc.closures[k]; ok {
 		return cl, nil
 	}
 	p := vl.scheme.Spec.Grammar.Productions[k-1]
 	cl, err := safety.NewClosure(vl.scheme.Spec.Grammar, p.RHS, vl.full)
 	if err != nil {
 		return nil, err
+	}
+	if qc.plan != nil {
+		qc.plan.putClosure(vl, k, cl)
+		return cl, nil
 	}
 	if qc.closures == nil {
 		qc.closures = map[int]*safety.Closure{}

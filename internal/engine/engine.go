@@ -171,10 +171,12 @@ func WorkerSweep(max int) []int {
 
 // DependsOnBatch answers all queries against one shared view label, fanning
 // them out over the worker pool. results[i] corresponds to queries[i]. Each
-// worker holds one pooled query context for its whole share of the batch, so
-// the space-efficient variant still pays its full graph-search cost per
-// query (contexts are born empty every query) while the matrix scratch
-// storage is reused across the worker's queries.
+// worker holds one pooled query context with a plan-scoped cache attached
+// (core.QuerySession.EnsurePlan), so the matrix scratch storage is reused
+// across the worker's queries and the space-efficient variant's on-the-fly
+// closures are computed once per worker rather than once per query — the
+// batch path deliberately opts out of the per-query honesty that bare
+// core.DependsOn calls keep for the Figure 20 experiment.
 func (e *Engine) DependsOnBatch(vl *core.ViewLabel, queries []Query) []Result {
 	results, _ := e.DependsOnBatchContext(context.Background(), vl, queries)
 	return results
@@ -295,6 +297,10 @@ func serveClaims(ctx context.Context, n int, cursor *atomic.Int64, grain int, ca
 	}
 	s := core.NewQuerySession()
 	defer s.Close()
+	// One plan-scoped cache per worker: closures (and, for set-query batches,
+	// chain products and visibility rows) amortize across the worker's whole
+	// share of the batch instead of being recomputed per query.
+	s.EnsurePlan(nil)
 	for {
 		// Claim, then check the context, then drain: a worker that finds the
 		// batch exhausted exits plainly (so a cancellation racing with

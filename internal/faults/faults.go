@@ -76,4 +76,10 @@ var (
 	// already-expanded instance, or a production that does not expand the
 	// instance's module.
 	ErrInvalidStep = errors.New("journal step does not apply to the specification")
+
+	// ErrInvalidQuery reports a set-query expression that does not parse, or
+	// parses but cannot be compiled into a plan: a syntax error in the query
+	// text, a combinator applied to operands of mismatched result kinds, or a
+	// projection side outside {1, 2}.
+	ErrInvalidQuery = errors.New("invalid set-query expression")
 )

@@ -1,0 +1,164 @@
+// Package query defines a small set-oriented query IR over workflow
+// provenance, a planner that compiles IR expressions into access-path plans
+// over view labels, and an executor whose leaf operators are bitset-row scans
+// (internal/core's depsRow/revDepsRow) rather than per-item point decodes.
+//
+// The IR has four primitives and three combinators:
+//
+//	deps(x)            items that x transitively depends on
+//	revdeps(x)         items that transitively depend on x
+//	between("A","B")   pairs (a, b) with a visible in view A, b visible in
+//	                   view B, and b dependent on a under the primary view
+//	explain(x, y, ...) initial inputs that some item of the set depends on
+//	union(e, e)        set union (operands of the same result kind)
+//	intersect(e, e)    set intersection (operands of the same result kind)
+//	project(e, side)   items of one side (1 or 2) of a pair set
+//
+// Expressions have one of two result kinds — item sets or pair sets — fixed
+// syntactically, so kind mismatches are rejected at parse and compile time.
+// Answers flow through plans as packed bitset rows end to end and are only
+// materialized into ID slices at the API boundary (Value.ItemIDs/PairList).
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// Kind is the result kind of an expression: a set of items or of pairs.
+type Kind int
+
+const (
+	KindItems Kind = iota
+	KindPairs
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindItems:
+		return "items"
+	case KindPairs:
+		return "pairs"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op enumerates the IR node types.
+type Op int
+
+const (
+	OpDeps Op = iota
+	OpRevDeps
+	OpBetween
+	OpExplain
+	OpUnion
+	OpIntersect
+	OpProject
+)
+
+// Expr is one node of a set-query expression. Expressions are immutable
+// values built by the constructor functions (or Parse) and shared freely.
+type Expr struct {
+	op    Op
+	item  int      // OpDeps, OpRevDeps
+	items []int    // OpExplain
+	viewA string   // OpBetween
+	viewB string   // OpBetween
+	side  int      // OpProject: 1 or 2
+	args  [2]*Expr // combinator operands (args[1] nil for OpProject)
+}
+
+// Deps builds deps(item): the set of items the given item transitively
+// depends on under the queried view.
+func Deps(item int) *Expr { return &Expr{op: OpDeps, item: item} }
+
+// RevDeps builds revdeps(item): the set of items that transitively depend on
+// the given item under the queried view.
+func RevDeps(item int) *Expr { return &Expr{op: OpRevDeps, item: item} }
+
+// Between builds between(viewA, viewB): the set of pairs (a, b) where a is
+// visible in viewA, b is visible in viewB, and b depends on a under the
+// primary view the plan is compiled against.
+func Between(viewA, viewB string) *Expr {
+	return &Expr{op: OpBetween, viewA: viewA, viewB: viewB}
+}
+
+// Explain builds explain(items...): the set of initial inputs that some item
+// of the given output set transitively depends on.
+func Explain(items ...int) *Expr {
+	return &Expr{op: OpExplain, items: append([]int(nil), items...)}
+}
+
+// Union builds union(a, b). Both operands must have the same result kind.
+func Union(a, b *Expr) *Expr { return &Expr{op: OpUnion, args: [2]*Expr{a, b}} }
+
+// Intersect builds intersect(a, b). Both operands must have the same result
+// kind.
+func Intersect(a, b *Expr) *Expr { return &Expr{op: OpIntersect, args: [2]*Expr{a, b}} }
+
+// Project builds project(pairs, side): the items appearing on the given side
+// (1 or 2) of a pair set.
+func Project(pairs *Expr, side int) *Expr {
+	return &Expr{op: OpProject, side: side, args: [2]*Expr{pairs, nil}}
+}
+
+// Op returns the node type.
+func (e *Expr) Op() Op { return e.op }
+
+// Kind returns the result kind of the expression, validating the whole tree
+// on the way: nil operands, negative item IDs, empty explain sets, kind
+// mismatches under combinators and out-of-range projection sides all yield an
+// error wrapping faults.ErrInvalidQuery.
+func (e *Expr) Kind() (Kind, error) {
+	if e == nil {
+		return 0, fmt.Errorf("query: nil expression: %w", faults.ErrInvalidQuery)
+	}
+	switch e.op {
+	case OpDeps, OpRevDeps:
+		if e.item < 0 {
+			return 0, fmt.Errorf("query: negative item ID %d: %w", e.item, faults.ErrInvalidQuery)
+		}
+		return KindItems, nil
+	case OpExplain:
+		if len(e.items) == 0 {
+			return 0, fmt.Errorf("query: explain requires at least one item: %w", faults.ErrInvalidQuery)
+		}
+		for _, it := range e.items {
+			if it < 0 {
+				return 0, fmt.Errorf("query: negative item ID %d: %w", it, faults.ErrInvalidQuery)
+			}
+		}
+		return KindItems, nil
+	case OpBetween:
+		return KindPairs, nil
+	case OpUnion, OpIntersect:
+		ka, err := e.args[0].Kind()
+		if err != nil {
+			return 0, err
+		}
+		kb, err := e.args[1].Kind()
+		if err != nil {
+			return 0, err
+		}
+		if ka != kb {
+			return 0, fmt.Errorf("query: cannot combine %v with %v: %w", ka, kb, faults.ErrInvalidQuery)
+		}
+		return ka, nil
+	case OpProject:
+		ka, err := e.args[0].Kind()
+		if err != nil {
+			return 0, err
+		}
+		if ka != KindPairs {
+			return 0, fmt.Errorf("query: project applies to pair sets, not %v: %w", ka, faults.ErrInvalidQuery)
+		}
+		if e.side != 1 && e.side != 2 {
+			return 0, fmt.Errorf("query: projection side must be 1 or 2, got %d: %w", e.side, faults.ErrInvalidQuery)
+		}
+		return KindItems, nil
+	default:
+		return 0, fmt.Errorf("query: unknown operator %d: %w", int(e.op), faults.ErrInvalidQuery)
+	}
+}

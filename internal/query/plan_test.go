@@ -1,0 +1,220 @@
+package query_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/query"
+	"repro/internal/workloads"
+)
+
+// mapCatalog serves an explicit set of variants per view.
+type mapCatalog map[string][]*core.ViewLabel
+
+func (c mapCatalog) Variants(view string) []*core.ViewLabel { return c[view] }
+
+// planFixture labels the paper example's two views under all three variants
+// and a random run to query over.
+type planFixture struct {
+	scheme   *core.Scheme
+	idx      *core.ItemIndex
+	n        int
+	labels   map[string]map[core.Variant]*core.ViewLabel // view -> variant -> label
+	security *core.ViewLabel                             // query-efficient, for picking targets
+}
+
+var allVariants = []core.Variant{core.VariantSpaceEfficient, core.VariantDefault, core.VariantQueryEfficient}
+
+func newPlanFixture(t *testing.T) *planFixture {
+	t.Helper()
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := workloads.PaperAbstractionView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &planFixture{scheme: scheme, labels: map[string]map[core.Variant]*core.ViewLabel{}}
+	f.labels["security"] = map[core.Variant]*core.ViewLabel{}
+	f.labels["abstraction"] = map[core.Variant]*core.ViewLabel{}
+	for _, variant := range allVariants {
+		vl, err := scheme.LabelView(sec, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.labels["security"][variant] = vl
+		vl2, err := scheme.LabelView(abs, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.labels["abstraction"][variant] = vl2
+	}
+	f.security = f.labels["security"][core.VariantQueryEfficient]
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{TargetSize: 60, Rand: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeler, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.n = labeler.Count()
+	f.idx = core.BuildItemIndex(0, f.n, labeler.Label)
+	return f
+}
+
+// catalogWith serves exactly the given variants for both views.
+func (f *planFixture) catalogWith(variants ...core.Variant) mapCatalog {
+	c := mapCatalog{}
+	for view, byVariant := range f.labels {
+		for _, v := range variants {
+			c[view] = append(c[view], byVariant[v])
+		}
+	}
+	return c
+}
+
+// pickVisibleTarget returns an item visible in the security view.
+func (f *planFixture) pickVisibleTarget(t *testing.T, labeler func(int) bool) int {
+	t.Helper()
+	for x := 1; x <= f.n; x++ {
+		if labeler(x) {
+			return x
+		}
+	}
+	t.Fatal("no visible item")
+	return 0
+}
+
+// bestOf mirrors the planner's documented preference order.
+func bestOf(variants []core.Variant) core.Variant {
+	best := variants[0]
+	rank := map[core.Variant]int{core.VariantSpaceEfficient: 0, core.VariantDefault: 1, core.VariantQueryEfficient: 2}
+	for _, v := range variants[1:] {
+		if rank[v] > rank[best] {
+			best = v
+		}
+	}
+	return best
+}
+
+// variantSubsets enumerates every non-empty subset of the three variants.
+func variantSubsets() [][]core.Variant {
+	var subsets [][]core.Variant
+	for mask := 1; mask < 8; mask++ {
+		var sub []core.Variant
+		for bit, v := range allVariants {
+			if mask&(1<<bit) != 0 {
+				sub = append(sub, v)
+			}
+		}
+		subsets = append(subsets, sub)
+	}
+	return subsets
+}
+
+// TestPlannerFallbackMatrix is the access-path fallback matrix: for every IR
+// shape and every combination of serving variants, the planner must pick the
+// best available variant for every leaf, and the executed answer must be
+// byte-identical no matter which variant ends up serving.
+func TestPlannerFallbackMatrix(t *testing.T) {
+	f := newPlanFixture(t)
+	x := f.pickVisibleTarget(t, func(x int) bool {
+		return f.idx.Has(x) && itemVisible(f, x)
+	})
+
+	shapes := []struct {
+		name string
+		expr *query.Expr
+	}{
+		{"deps", query.Deps(x)},
+		{"revdeps", query.RevDeps(x)},
+		{"between", query.Between("security", "abstraction")},
+		{"explain", query.Explain(x)},
+		{"union", query.Union(query.Deps(x), query.RevDeps(x))},
+		{"intersect", query.Intersect(query.Deps(x), query.RevDeps(x))},
+		{"project", query.Project(query.Between("security", "abstraction"), 2)},
+	}
+
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			var refItems []int
+			var refPairs [][2]int
+			first := true
+			for _, sub := range variantSubsets() {
+				cat := f.catalogWith(sub...)
+				plan, err := query.Compile(cat, "security", shape.expr)
+				if err != nil {
+					t.Fatalf("variants %v: %v", sub, err)
+				}
+				paths := plan.AccessPaths()
+				if len(paths) == 0 {
+					t.Fatalf("variants %v: plan has no access paths", sub)
+				}
+				want := bestOf(sub)
+				for _, ap := range paths {
+					if ap.Variant != want {
+						t.Fatalf("variants %v: access path %v, want variant %v", sub, ap, want)
+					}
+				}
+				s := core.NewQuerySession()
+				v, err := plan.Execute(s, f.idx)
+				s.Close()
+				if err != nil {
+					t.Fatalf("variants %v: execute: %v", sub, err)
+				}
+				items, pairs := v.ItemIDs(), v.PairList()
+				if first {
+					refItems, refPairs, first = items, pairs, false
+					continue
+				}
+				if !reflect.DeepEqual(items, refItems) || !reflect.DeepEqual(pairs, refPairs) {
+					t.Fatalf("variants %v: answer diverges from reference:\n got %v %v\nwant %v %v",
+						sub, items, pairs, refItems, refPairs)
+				}
+			}
+		})
+	}
+}
+
+// itemVisible reports whether the item is visible in the security view under
+// the fixture's query-efficient label.
+func itemVisible(f *planFixture, x int) bool {
+	s := core.NewQuerySession()
+	defer s.Close()
+	_, err := s.DepsRow(f.security, f.idx, x)
+	return err == nil
+}
+
+// TestCompileErrors pins the planner's error taxonomy: unknown views wrap
+// faults.ErrUnknownView, malformed expressions wrap faults.ErrInvalidQuery.
+func TestCompileErrors(t *testing.T) {
+	f := newPlanFixture(t)
+	cat := f.catalogWith(core.VariantDefault)
+	if _, err := query.Compile(cat, "ghost", query.Deps(1)); !errors.Is(err, faults.ErrUnknownView) {
+		t.Fatalf("unknown primary view: got %v", err)
+	}
+	if _, err := query.Compile(cat, "security", query.Between("security", "ghost")); !errors.Is(err, faults.ErrUnknownView) {
+		t.Fatalf("unknown between endpoint: got %v", err)
+	}
+	if _, err := query.Compile(cat, "security", query.Project(query.Deps(1), 1)); !errors.Is(err, faults.ErrInvalidQuery) {
+		t.Fatalf("project over items: got %v", err)
+	}
+	if _, err := query.Compile(cat, "security", query.Explain()); !errors.Is(err, faults.ErrInvalidQuery) {
+		t.Fatalf("empty explain: got %v", err)
+	}
+	if _, err := query.Compile(mapCatalog{}, "security", query.Deps(1)); !errors.Is(err, faults.ErrUnknownView) {
+		t.Fatalf("empty catalog: got %v", err)
+	}
+}

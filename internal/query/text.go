@@ -1,0 +1,237 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// The textual form of the IR is deliberately canonical: there is exactly one
+// spelling of every expression, with no whitespace, lower-case operator
+// names, base-10 integers without leading zeros or signs, and view names
+// quoted the way strconv.Quote prints them. Parse accepts exactly what
+// String emits — the round-trip property Parse(s).String() == s is enforced
+// bit-exactly by FuzzQueryParse — so query texts are stable keys: they can be
+// logged, diffed, and deduplicated by string comparison alone.
+
+// String returns the canonical textual form of the expression. Invalid trees
+// (nil operands) print as "<invalid>", which Parse rejects.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	if e == nil {
+		b.WriteString("<invalid>")
+		return
+	}
+	switch e.op {
+	case OpDeps:
+		fmt.Fprintf(b, "deps(%d)", e.item)
+	case OpRevDeps:
+		fmt.Fprintf(b, "revdeps(%d)", e.item)
+	case OpBetween:
+		fmt.Fprintf(b, "between(%s,%s)", strconv.Quote(e.viewA), strconv.Quote(e.viewB))
+	case OpExplain:
+		b.WriteString("explain(")
+		for i, it := range e.items {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(it))
+		}
+		b.WriteByte(')')
+	case OpUnion, OpIntersect:
+		if e.op == OpUnion {
+			b.WriteString("union(")
+		} else {
+			b.WriteString("intersect(")
+		}
+		e.args[0].write(b)
+		b.WriteByte(',')
+		e.args[1].write(b)
+		b.WriteByte(')')
+	case OpProject:
+		b.WriteString("project(")
+		e.args[0].write(b)
+		fmt.Fprintf(b, ",%d)", e.side)
+	default:
+		b.WriteString("<invalid>")
+	}
+}
+
+// Parse decodes the canonical textual form back into an expression. It
+// accepts exactly the language String emits: any input that parses satisfies
+// Parse(s).String() == s byte for byte. The parsed tree is also
+// kind-validated, so a successful Parse implies a compilable shape. All
+// errors wrap faults.ErrInvalidQuery.
+func Parse(s string) (*Expr, error) {
+	p := &parser{s: s}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.s) {
+		return nil, p.errorf("trailing input after expression")
+	}
+	if _, err := e.Kind(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) errorf(format string, a ...any) error {
+	msg := fmt.Sprintf(format, a...)
+	return fmt.Errorf("query: parse error at offset %d: %s: %w", p.pos, msg, faults.ErrInvalidQuery)
+}
+
+func (p *parser) expect(c byte) error {
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *parser) expr() (*Expr, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= 'a' && p.s[p.pos] <= 'z' {
+		p.pos++
+	}
+	name := p.s[start:p.pos]
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var e *Expr
+	switch name {
+	case "deps", "revdeps":
+		n, err := p.int()
+		if err != nil {
+			return nil, err
+		}
+		if name == "deps" {
+			e = Deps(n)
+		} else {
+			e = RevDeps(n)
+		}
+	case "between":
+		a, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		b, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		e = Between(a, b)
+	case "explain":
+		items := []int{}
+		for {
+			n, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, n)
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+		}
+		e = Explain(items...)
+	case "union", "intersect":
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if name == "union" {
+			e = Union(a, b)
+		} else {
+			e = Intersect(a, b)
+		}
+	case "project":
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		side, err := p.int()
+		if err != nil {
+			return nil, err
+		}
+		e = Project(a, side)
+	default:
+		return nil, p.errorf("unknown operator %q", name)
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// int reads a canonical base-10 integer: "0", or a nonzero leading digit
+// followed by any digits; no signs, no leading zeros, and it must round-trip
+// through strconv (which also rejects overflow).
+func (p *parser) int() (int, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] >= '0' && p.s[p.pos] <= '9' {
+		p.pos++
+	}
+	tok := p.s[start:p.pos]
+	if tok == "" {
+		return 0, p.errorf("expected an integer")
+	}
+	if len(tok) > 1 && tok[0] == '0' {
+		return 0, p.errorf("integer %q has a leading zero", tok)
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil || strconv.Itoa(n) != tok {
+		return 0, p.errorf("integer %q out of range", tok)
+	}
+	return n, nil
+}
+
+// str reads a canonical quoted string: the exact output of strconv.Quote.
+func (p *parser) str() (string, error) {
+	rest := p.s[p.pos:]
+	tok, err := strconv.QuotedPrefix(rest)
+	if err != nil || len(tok) < 2 || tok[0] != '"' {
+		return "", p.errorf("expected a quoted view name")
+	}
+	v, err := strconv.Unquote(tok)
+	if err != nil {
+		return "", p.errorf("malformed quoted view name %s", tok)
+	}
+	if strconv.Quote(v) != tok {
+		return "", p.errorf("non-canonical quoting %s", tok)
+	}
+	p.pos += len(tok)
+	return v, nil
+}

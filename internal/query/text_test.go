@@ -1,0 +1,132 @@
+package query_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/query"
+)
+
+// roundTrips are canonical texts: Parse must accept each and String must
+// reproduce it byte for byte.
+var roundTrips = []string{
+	`deps(0)`,
+	`deps(7)`,
+	`revdeps(3)`,
+	`deps(1234567)`,
+	`between("A","B")`,
+	`between("","")`,
+	`between("a b","c\"d")`,
+	`between("vueé","\x00")`,
+	`explain(1)`,
+	`explain(1,2,3)`,
+	`union(deps(1),revdeps(2))`,
+	`intersect(deps(1),explain(4,5))`,
+	`union(between("A","B"),between("B","A"))`,
+	`project(between("A","B"),1)`,
+	`project(between("A","B"),2)`,
+	`union(project(between("A","B"),2),intersect(deps(9),revdeps(9)))`,
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, s := range roundTrips {
+		e, err := query.Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := e.String(); got != s {
+			t.Fatalf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestConstructorsEmitCanonicalText(t *testing.T) {
+	cases := []struct {
+		e    *query.Expr
+		want string
+	}{
+		{query.Deps(7), `deps(7)`},
+		{query.RevDeps(0), `revdeps(0)`},
+		{query.Between("A", "b c"), `between("A","b c")`},
+		{query.Explain(3, 1, 2), `explain(3,1,2)`},
+		{query.Union(query.Deps(1), query.Deps(2)), `union(deps(1),deps(2))`},
+		{query.Intersect(query.Deps(1), query.Explain(2)), `intersect(deps(1),explain(2))`},
+		{query.Project(query.Between("A", "B"), 2), `project(between("A","B"),2)`},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+		back, err := query.Parse(c.want)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.want, err)
+		}
+		if got := back.String(); got != c.want {
+			t.Fatalf("reparse of %q prints %q", c.want, got)
+		}
+	}
+}
+
+func TestParseRejectsNonCanonicalAndInvalid(t *testing.T) {
+	bad := []string{
+		``,
+		`deps`,
+		`deps()`,
+		`deps(-1)`,
+		`deps(01)`,
+		`deps( 1)`,
+		`deps(1) `,
+		`Deps(1)`,
+		`deps(1))`,
+		`deps(99999999999999999999)`,
+		`between('A','B')`,
+		`between("A")`,
+		`between("A","B",)`,
+		"between(`A`,\"B\")",
+		`between("\u0041","B")`, // non-canonical: Quote prints "A"
+		`explain()`,
+		`explain(1,)`,
+		`union(deps(1))`,
+		`union(deps(1),between("A","B"))`,     // kind mismatch
+		`intersect(between("A","B"),deps(1))`, // kind mismatch
+		`project(deps(1),1)`,                  // project needs pairs
+		`project(between("A","B"),0)`,         // side out of range
+		`project(between("A","B"),3)`,         // side out of range
+		`unknown(1)`,
+	}
+	for _, s := range bad {
+		if _, err := query.Parse(s); !errors.Is(err, faults.ErrInvalidQuery) {
+			t.Fatalf("Parse(%q): got err %v, want ErrInvalidQuery", s, err)
+		}
+	}
+}
+
+// FuzzQueryParse enforces the canonical-text contract bit-exactly: any input
+// Parse accepts must print back to the identical string, and the printed
+// string must parse again to the same text. Seeds cover every operator.
+func FuzzQueryParse(f *testing.F) {
+	for _, s := range roundTrips {
+		f.Add(s)
+	}
+	f.Add(`deps(18446744073709551616)`)
+	f.Add(`between("é","")`)
+	f.Add(`project(union(between("A","B"),between("A","B")),2)`)
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := query.Parse(s)
+		if err != nil {
+			return
+		}
+		printed := e.String()
+		if printed != s {
+			t.Fatalf("Parse(%q).String() = %q: parser accepted non-canonical input", s, printed)
+		}
+		again, err := query.Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("reparse of %q prints %q", printed, again.String())
+		}
+	})
+}
