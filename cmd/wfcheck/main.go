@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +29,7 @@ import (
 	"strings"
 
 	"repro/fvl"
+	"repro/fvl/client"
 )
 
 func main() {
@@ -41,7 +43,13 @@ func main() {
 	degree := flag.Int("degree", 4, "synthetic: module degree")
 	size := flag.Int("size", 40, "synthetic: workflow size")
 	recursion := flag.Int("recursion", 2, "synthetic: recursion length")
+	remote := flag.String("remote", "", "analyze a scheme served by an fvld server at this base URL (downloads its snapshot via the wire codec)")
+	tenant := flag.String("tenant", "default", "with -remote: the fvld tenant owning the scheme")
+	scheme := flag.String("scheme", "", "with -remote: the scheme name to download and analyze")
 	flag.Parse()
+	if *remote != "" && *load != "" {
+		log.Fatal("-remote and -load are mutually exclusive: both select the snapshot to analyze")
+	}
 
 	spec, err := selectWorkload(*workload, fvl.SyntheticParams{
 		WorkflowSize: *size, ModuleDegree: *degree, NestingDepth: *depth, RecursionLength: *recursion,
@@ -57,13 +65,38 @@ func main() {
 		*workload = *specFile
 	}
 	var svc *fvl.Service
-	if *load != "" {
-		svc, err = fvl.OpenSnapshotFile(*load)
+	// -remote is -load over the wire: the scheme's snapshot is downloaded
+	// through the public client (same FVLSNAP codec, same validation) and
+	// analyzed exactly like a local file.
+	if *remote != "" {
+		if *scheme == "" {
+			names, err := client.New(*remote).Schemes(context.Background(), *tenant)
+			if err != nil {
+				log.Fatalf("listing schemes of tenant %q at %s: %v", *tenant, *remote, err)
+			}
+			fmt.Printf("tenant %q at %s serves %d scheme(s):\n", *tenant, *remote, len(names))
+			for _, info := range names {
+				fmt.Printf("  %-32s views %v, sessions %v\n", info.Name, info.Views, info.Sessions)
+			}
+			log.Fatal("-remote needs -scheme to pick one of the above")
+		}
+		svc, err = client.New(*remote).OpenService(context.Background(), *tenant, *scheme)
 		if err != nil {
-			log.Fatalf("loading snapshot %s: %v", *load, err)
+			log.Fatalf("downloading scheme %s/%s from %s: %v", *tenant, *scheme, *remote, err)
 		}
 		spec = svc.Spec()
-		*workload = *load
+		*workload = fmt.Sprintf("%s (tenant %q, scheme %q)", *remote, *tenant, *scheme)
+		*load = *workload
+	}
+	if *load != "" {
+		if svc == nil {
+			svc, err = fvl.OpenSnapshotFile(*load)
+			if err != nil {
+				log.Fatalf("loading snapshot %s: %v", *load, err)
+			}
+			spec = svc.Spec()
+			*workload = *load
+		}
 		kind := "compact"
 		if svc.IsBasic() {
 			kind = "basic (Theorem 1 fallback)"

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/fvl"
+	"repro/fvl/client"
 )
 
 func main() {
@@ -44,7 +45,12 @@ func main() {
 	snapshot := flag.String("snapshot", "", "persist the scheme and the computed view label to this file (load it with wfcheck -load, fvlbench -load or fvl.OpenSnapshot)")
 	session := flag.String("session", "", "drive the derivation through a crash-durable session in this directory (resumed if it already holds one); -query is answered by the live session")
 	checkpoint := flag.Int("checkpoint", 0, "with -session: checkpoint every N steps (0 checkpoints once, at the end)")
+	remote := flag.String("remote", "", "mirror the derivation into an fvld server at this base URL (e.g. http://127.0.0.1:8439) and answer -query remotely")
+	tenant := flag.String("tenant", "default", "with -remote: the fvld tenant to use")
 	flag.Parse()
+	if *remote != "" && *session != "" {
+		log.Fatal("-remote and -session are mutually exclusive: the remote session is the durable one")
+	}
 	ctx := context.Background()
 
 	spec, err := selectWorkload(*workload)
@@ -176,6 +182,15 @@ func main() {
 			float64(total)/float64(r.Size()), max, r.Size())
 	}
 
+	// -remote mirrors the derivation into an fvld server through the public
+	// client — scheme registered from a local snapshot, steps streamed in the
+	// journal wire format — and answers -query against the remote session at
+	// a pinned epoch.
+	if *remote != "" {
+		runRemote(ctx, *remote, *tenant, *workload, spec, v, variant, r, *query, *seed)
+		return
+	}
+
 	if strings.Contains(*query, "(") {
 		// A set-query expression: answered by the planner over bitset-row
 		// scans. The live session answers at a pinned epoch; otherwise a
@@ -250,6 +265,84 @@ func main() {
 				fmt.Printf("(ground-truth graph search agrees: %v)\n", want)
 			}
 		}
+	}
+}
+
+// runRemote drives the derivation through an fvld server: the scheme is
+// registered once per (workload, view, variant) from a locally computed
+// snapshot, the run's step log streams through the session's journal-format
+// ingestion, and the query is answered by the server at a pinned epoch.
+func runRemote(ctx context.Context, baseURL, tenant, workload string, spec *fvl.Spec, v *fvl.View, variant fvl.Variant, r *fvl.Run, query string, seed int64) {
+	c := client.New(baseURL)
+	if err := c.CreateTenant(ctx, tenant); err != nil {
+		log.Fatalf("remote tenant %q: %v", tenant, err)
+	}
+	schemeName := fmt.Sprintf("%s-%s-%s", workload, v.Name(), variant)
+	if _, err := c.Scheme(ctx, tenant, schemeName); err != nil {
+		svc, err := fvl.Open(ctx, spec, []*fvl.View{v}, fvl.WithVariant(variant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.RegisterService(ctx, tenant, schemeName, svc); err != nil {
+			log.Fatalf("registering scheme %q: %v", schemeName, err)
+		}
+		fmt.Printf("registered scheme %q with %s\n", schemeName, baseURL)
+	}
+	sessionName := fmt.Sprintf("run-s%d-n%d", seed, r.Size())
+	sess, st, err := c.OpenSession(ctx, tenant, schemeName, sessionName, true)
+	if err != nil {
+		log.Fatalf("remote session %q: %v", sessionName, err)
+	}
+	steps := r.StepLog()
+	start := int(st.Epoch)
+	if start > len(steps) {
+		log.Fatalf("remote session %q is at epoch %d but this run has only %d steps; rerun with the original flags",
+			sessionName, start, len(steps))
+	}
+	res, err := sess.SendSteps(ctx, steps[start:])
+	if err != nil {
+		log.Fatalf("streaming steps (%d acked before failure): %v", res.Applied, err)
+	}
+	if _, err := sess.Checkpoint(ctx); err != nil {
+		log.Fatalf("remote checkpoint: %v", err)
+	}
+	fmt.Printf("remote session %s/%s/%s: epoch %d, %d items\n",
+		tenant, schemeName, sessionName, res.Epoch, res.Items)
+
+	switch {
+	case strings.Contains(query, "("):
+		q, err := fvl.ParseQueryExpr(query)
+		if err != nil {
+			log.Fatalf("-query: %v", err)
+		}
+		a, epoch, err := sess.Query(ctx, v.Name(), q)
+		if err != nil {
+			log.Fatalf("remote set query failed: %v", err)
+		}
+		fmt.Printf("\nset query %s under view %q at epoch %d (remote):\n", q, v.Name(), epoch)
+		if q.Pairs() {
+			fmt.Printf("  %d pairs: %v\n", len(a.Pairs), a.Pairs)
+		} else {
+			fmt.Printf("  %d items: %v\n", len(a.Items), a.Items)
+		}
+		for _, line := range strings.Split(strings.TrimRight(a.Plan, "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	case query != "":
+		parts := strings.Split(query, ",")
+		if len(parts) != 2 {
+			log.Fatalf("-query wants two comma-separated data item IDs, got %q", query)
+		}
+		d1, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		d2, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			log.Fatalf("-query wants numeric data item IDs, got %q", query)
+		}
+		ans, err := sess.DependsOn(ctx, v.Name(), d1, d2)
+		if err != nil {
+			log.Fatalf("remote query failed: %v", err)
+		}
+		fmt.Printf("\ndoes d%d depend on d%d under view %q?  %v (remote)\n", d2, d1, v.Name(), ans)
 	}
 }
 

@@ -19,8 +19,15 @@ import (
 // repro/internal/analysis, development tooling that inspects the codebase
 // rather than a consumer of the labeling API, and keeping the analysis
 // framework out of the public surface is the point of the lock.
+//
+// cmd/fvld is exempt for the symmetric reason on the serving side: it is
+// the daemon hosting repro/internal/service — the process boundary itself,
+// not a consumer of the labeling API. The public proof of completeness for
+// the service surface is repro/fvl/client, which remote callers (including
+// the -remote modes of wflabel and wfcheck) use without touching internal
+// packages.
 func TestPublicProgramsDoNotImportInternal(t *testing.T) {
-	exempt := map[string]bool{"fvlvet": true}
+	exempt := map[string]bool{"fvlvet": true, "fvld": true}
 	for _, dir := range []string{"../cmd", "../examples"} {
 		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 			if err != nil {

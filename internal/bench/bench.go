@@ -152,6 +152,7 @@ func All() []Experiment {
 		{"live", "Per-step label latency and query throughput during live ingestion", LiveServing},
 		{"snapshot", "Loaded label snapshot vs freshly built labels, differential (needs -load)", SnapshotServing},
 		{"recovery", "Durable session resume latency vs checkpoint interval", Recovery},
+		{"service", "fvld network overhead: remote vs in-process ingestion and queries", ServiceOverhead},
 	}
 }
 

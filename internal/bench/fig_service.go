@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"repro/fvl"
+	"repro/fvl/client"
+	"repro/internal/service"
+)
+
+// ServiceOverhead is not a figure of the paper: it prices the fvld network
+// boundary. The same BioAID ingestion and query workload runs twice — once
+// against an in-process fvl.Session and once through fvl/client against an
+// fvld server on a loopback listener — and the table reports per-step
+// ingestion latency and per-query batch latency side by side. Remote step
+// ingestion is measured at two framings (one step per POST and chunked
+// streams) to show what the journal-framed streaming endpoint amortizes;
+// remote queries ride one POST per batch, so their overhead is one HTTP
+// round trip spread over the batch size.
+func ServiceOverhead(cfg Config) (*Table, error) {
+	return ServiceOverheadContext(context.Background(), cfg)
+}
+
+// ServiceOverheadContext is ServiceOverhead with cancellation: the context
+// threads through every client call, so a cancellation surfaces as
+// ErrCanceled from whichever RPC was in flight.
+func ServiceOverheadContext(ctx context.Context, cfg Config) (*Table, error) {
+	spec := fvl.BioAID()
+	v, err := fvl.RandomView(spec, fvl.ViewOptions{
+		Name: "svc", Composites: 8, Mode: fvl.GreyBox, Seed: cfg.Seed + 8100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: cfg.MultiViewRunSize, Seed: cfg.Seed + 8200})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := fvl.Open(ctx, spec, []*fvl.View{v})
+	if err != nil {
+		return nil, err
+	}
+	steps := r.StepLog()
+
+	batchSize := cfg.Queries / 10
+	if batchSize < 64 {
+		batchSize = 64
+	}
+	if batchSize > 1024 {
+		batchSize = 1024
+	}
+
+	srv, err := service.New(service.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	if err := c.CreateTenant(ctx, "bench"); err != nil {
+		return nil, err
+	}
+	if _, err := c.RegisterService(ctx, "bench", "bioaid", svc); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Name: "service",
+		Title: fmt.Sprintf("fvld network overhead: %d-step ingestion, %d-query batches, loopback HTTP",
+			len(steps), batchSize),
+		Columns: []string{"path", "steps/POST", "per-step (us)", "batch query (us/q)"},
+		Notes:   "chunked remote ingestion should close most of the gap to in-process; remote query overhead shrinks as one round trip amortizes over the batch",
+	}
+
+	queriesFor := func(items int, seed int64) []fvl.ItemQuery {
+		rng := rand.New(rand.NewSource(seed))
+		qs := make([]fvl.ItemQuery, batchSize)
+		for i := range qs {
+			qs[i] = fvl.ItemQuery{From: 1 + rng.Intn(items), To: 1 + rng.Intn(items)}
+		}
+		return qs
+	}
+	samples := cfg.SamplesPerPoint
+	if samples < 1 {
+		samples = 1
+	}
+
+	// In-process baseline: the exact calls the handlers make, minus HTTP.
+	local, err := svc.OpenLive()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, req := range steps {
+		if _, err := local.Apply(req.Instance, req.Production); err != nil {
+			return nil, err
+		}
+	}
+	localStep := time.Since(start) / time.Duration(len(steps))
+	qs := queriesFor(local.Items(), cfg.Seed+8300)
+	start = time.Now()
+	for s := 0; s < samples; s++ {
+		if _, _, err := local.DependsOnBatch(ctx, v.Name(), qs); err != nil {
+			return nil, err
+		}
+	}
+	localQuery := time.Since(start) / time.Duration(samples*batchSize)
+	t.Rows = append(t.Rows, []string{"in-process", "-", fmtUs(localStep), fmtUs(localQuery)})
+
+	for _, chunk := range []int{1, 64} {
+		sess, _, err := c.OpenSession(ctx, "bench", "bioaid", fmt.Sprintf("chunk-%d", chunk), false)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for at := 0; at < len(steps); at += chunk {
+			end := min(at+chunk, len(steps))
+			if _, err := sess.SendSteps(ctx, steps[at:end]); err != nil {
+				return nil, err
+			}
+		}
+		remoteStep := time.Since(start) / time.Duration(len(steps))
+		start = time.Now()
+		for s := 0; s < samples; s++ {
+			if _, _, err := sess.DependsOnBatch(ctx, v.Name(), qs); err != nil {
+				return nil, err
+			}
+		}
+		remoteQuery := time.Since(start) / time.Duration(samples*batchSize)
+		t.Rows = append(t.Rows, []string{
+			"remote", fmtCount(chunk), fmtUs(remoteStep), fmtUs(remoteQuery),
+		})
+	}
+	return t, nil
+}

@@ -1,18 +1,23 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/fvl"
+	"repro/fvl/client"
 	"repro/internal/core"
 	"repro/internal/drl"
 	"repro/internal/durable"
 	"repro/internal/engine"
+	"repro/internal/service"
 	"repro/internal/workloads"
 )
 
@@ -266,6 +271,109 @@ func Records(cfg Config) ([]Record, error) {
 		}
 	}))
 
+	// Service boundary records of the fvld PR: the same workload through
+	// fvl/client against a loopback fvld server — one full-run ingestion
+	// through the chunked steps endpoint, and one batch-query POST per op on
+	// the fully ingested session. The deltas against label-run and
+	// engine/batch above are the price of the HTTP boundary.
+	serviceRecords, err := serviceBoundaryRecords(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, serviceRecords...)
+
+	return out, nil
+}
+
+func serviceBoundaryRecords(cfg Config, size int) ([]Record, error) {
+	return serviceBoundaryRecordsContext(context.Background(), cfg, size)
+}
+
+func serviceBoundaryRecordsContext(ctx context.Context, cfg Config, size int) ([]Record, error) {
+	spec := fvl.BioAID()
+	v, err := fvl.RandomView(spec, fvl.ViewOptions{
+		Name: "bench-json", Composites: 8, Mode: fvl.GreyBox, Seed: cfg.Seed + 7200,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fr, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: size, Seed: cfg.Seed + 7100})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := fvl.Open(ctx, spec, []*fvl.View{v})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := service.New(service.Config{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	if err := c.CreateTenant(ctx, "bench"); err != nil {
+		return nil, err
+	}
+	if _, err := c.RegisterService(ctx, "bench", "bioaid", svc); err != nil {
+		return nil, err
+	}
+	steps := fr.StepLog()
+	const chunk = 64
+	ingest := func(session string) error {
+		sess, _, err := c.OpenSession(ctx, "bench", "bioaid", session, false)
+		if err != nil {
+			return err
+		}
+		for at := 0; at < len(steps); at += chunk {
+			end := min(at+chunk, len(steps))
+			if _, err := sess.SendSteps(ctx, steps[at:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var out []Record
+	runs := 0
+	out = append(out, record(fmt.Sprintf("service/ingest-run/%d", len(steps)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runs++
+			if err := ingest(fmt.Sprintf("ingest-%d", runs)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	sess, st, err := c.OpenSession(ctx, "bench", "bioaid", "query", false)
+	if err != nil {
+		return nil, err
+	}
+	if st.Epoch == 0 {
+		if err := ingest("query"); err != nil {
+			return nil, err
+		}
+		if st, err = sess.Status(ctx); err != nil {
+			return nil, err
+		}
+	}
+	qn := cfg.Queries
+	if qn > 1024 {
+		qn = 1024
+	}
+	rng := newRand(cfg.Seed + 7400)
+	batch := make([]fvl.ItemQuery, qn)
+	for i := range batch {
+		batch[i] = fvl.ItemQuery{From: 1 + rng.Intn(st.Items), To: 1 + rng.Intn(st.Items)}
+	}
+	out = append(out, record(fmt.Sprintf("service/depends-batch-%d", qn), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.DependsOnBatch(ctx, v.Name(), batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 	return out, nil
 }
 

@@ -139,6 +139,25 @@ func (s *QuerySession) EnsurePlan(idx *ItemIndex) *PlanCache {
 	return pc
 }
 
+// AttachPlan attaches a specific plan-scoped cache — typically one drawn
+// from a PlanShare — to the session, replacing whatever plan was attached.
+// The session owns the cache until DetachPlan or Close; attaching a cache
+// that another live session still uses is a data race, which is why caches
+// move through a PlanShare rather than being handed around directly.
+// Attaching nil restores the bare, honestly-accounted state.
+func (s *QuerySession) AttachPlan(pc *PlanCache) { s.qc.plan = pc }
+
+// DetachPlan removes and returns the session's plan cache (nil if none),
+// leaving the session bare. The usual pairing is Acquire/AttachPlan before
+// a batch and Release(DetachPlan()) after it, so the cache — including
+// anything EnsurePlan minted mid-batch to replace it — survives into the
+// next session at the same epoch.
+func (s *QuerySession) DetachPlan() *PlanCache {
+	pc := s.qc.plan
+	s.qc.plan = nil
+	return pc
+}
+
 // DepsRow answers the set query Deps(itemID) against vl as a bitset row:
 // bit y of the returned 1×(idx.Items()+1) row is set exactly when
 // DependsOn(label(y), label(itemID)) answers (true, nil) — everything the

@@ -140,9 +140,17 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 
 // Engine is a concurrent batch query engine over view labels. The zero
 // value serves batches with GOMAXPROCS workers, like New(0). An Engine is
-// stateless between calls and safe for concurrent use.
+// safe for concurrent use; the only state it keeps between calls is the
+// plan-cache share, which is pure amortization — dropping it changes
+// nothing but latency.
 type Engine struct {
 	workers int
+
+	// share hands each worker's plan-scoped cache to the next batch at the
+	// same pinned item index (epoch), so closures and chain products are
+	// computed once per epoch per label instead of once per batch. See
+	// core.PlanShare.
+	share core.PlanShare
 }
 
 // New returns an engine with the given worker-pool size, normalized by
@@ -195,7 +203,7 @@ func (e *Engine) DependsOnBatchContext(ctx context.Context, vl *core.ViewLabel, 
 		return nil, fmt.Errorf("engine: batch not started: %w (%v)", faults.ErrCanceled, err)
 	}
 	results := make([]Result, len(queries))
-	if e.fanOut(ctx, len(queries), func(s *core.QuerySession, i int) {
+	if e.fanOut(ctx, nil, len(queries), func(s *core.QuerySession, i int) {
 		results[i] = serveOne(s, vl, queries[i])
 	}) {
 		return results, fmt.Errorf("engine: batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
@@ -250,7 +258,7 @@ func (e *Engine) DependsOnItemsBatchContext(ctx context.Context, vl *core.ViewLa
 		return results, err
 	}
 	results := make([]Result, len(queries))
-	if e.fanOut(ctx, len(queries), func(s *core.QuerySession, i int) {
+	if e.fanOut(ctx, nil, len(queries), func(s *core.QuerySession, i int) {
 		results[i] = serveItem(s, vl, src, queries[i])
 	}) {
 		return results, fmt.Errorf("engine: items batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
@@ -260,9 +268,11 @@ func (e *Engine) DependsOnItemsBatchContext(ctx context.Context, vl *core.ViewLa
 
 // fanOut is the shared claim loop of both batch paths: it runs answer(s, i)
 // for every index in [0, n) over the worker pool, each worker holding one
-// pooled query context, claiming grain-sized blocks from a shared cursor. It
-// reports whether cancellation left claim blocks undrained.
-func (e *Engine) fanOut(ctx context.Context, n int, answer func(s *core.QuerySession, i int)) bool {
+// pooled query context, claiming grain-sized blocks from a shared cursor.
+// idx is the pinned item index of a set-query batch (nil for point-query
+// batches); it keys the plan caches the workers draw from the engine's
+// share. fanOut reports whether cancellation left claim blocks undrained.
+func (e *Engine) fanOut(ctx context.Context, idx *core.ItemIndex, n int, answer func(s *core.QuerySession, i int)) bool {
 	workers := EffectiveWorkers(e.workers)
 	if workers > n {
 		workers = n
@@ -272,7 +282,7 @@ func (e *Engine) fanOut(ctx context.Context, n int, answer func(s *core.QuerySes
 		// The single worker still drains in maxGrain-sized claim blocks so
 		// the documented cancellation granularity holds regardless of the
 		// pool size; one uncontended atomic add per block is noise.
-		serveClaims(ctx, n, new(atomic.Int64), batchGrain(n, 1), &canceled, answer)
+		e.serveClaims(ctx, idx, n, new(atomic.Int64), batchGrain(n, 1), &canceled, answer)
 	} else {
 		grain := batchGrain(n, workers)
 		var cursor atomic.Int64
@@ -281,7 +291,7 @@ func (e *Engine) fanOut(ctx context.Context, n int, answer func(s *core.QuerySes
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				serveClaims(ctx, n, &cursor, grain, &canceled, answer)
+				e.serveClaims(ctx, idx, n, &cursor, grain, &canceled, answer)
 			}()
 		}
 		wg.Wait()
@@ -291,16 +301,21 @@ func (e *Engine) fanOut(ctx context.Context, n int, answer func(s *core.QuerySes
 
 // serveClaims drains grain-sized blocks of the batch until the cursor passes
 // the end or the context is canceled.
-func serveClaims(ctx context.Context, n int, cursor *atomic.Int64, grain int, canceled *atomic.Bool, answer func(s *core.QuerySession, i int)) {
+func (e *Engine) serveClaims(ctx context.Context, idx *core.ItemIndex, n int, cursor *atomic.Int64, grain int, canceled *atomic.Bool, answer func(s *core.QuerySession, i int)) {
 	if grain < 1 {
 		return
 	}
 	s := core.NewQuerySession()
 	defer s.Close()
-	// One plan-scoped cache per worker: closures (and, for set-query batches,
-	// chain products and visibility rows) amortize across the worker's whole
-	// share of the batch instead of being recomputed per query.
-	s.EnsurePlan(nil)
+	// One plan-scoped cache per worker, drawn from the engine's epoch-keyed
+	// share: closures (and, for set-query batches, chain products and
+	// visibility rows) amortize across the worker's whole share of the batch
+	// — and, via the share, across every batch served at the same pinned
+	// index since PR 9. DetachPlan returns whatever cache the worker ends
+	// with (EnsurePlan may have replaced the attached one mid-batch), so the
+	// warmed cache is what the next session inherits.
+	s.AttachPlan(e.share.Acquire(idx))
+	defer func() { e.share.Release(s.DetachPlan()) }()
 	for {
 		// Claim, then check the context, then drain: a worker that finds the
 		// batch exhausted exits plainly (so a cancellation racing with

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBatchesShareplanCachesAcrossCalls: the engine's plan-cache share hands
+// a worker's warmed cache to the next batch, so consecutive batches — point
+// batches under the nil key, set-query batches under their pinned index —
+// start warm instead of recomputing closures per call. Observable without
+// reaching into core: after a batch completes, the share holds idle caches
+// for exactly the key the batch ran under.
+func TestBatchesSharePlanCachesAcrossCalls(t *testing.T) {
+	vl, queries := fixture(t, core.VariantSpaceEfficient, 64)
+	e := New(2)
+	if got := e.share.IdleCaches(nil); got != 0 {
+		t.Fatalf("fresh engine holds %d idle caches", got)
+	}
+	for _, r := range e.DependsOnBatch(vl, queries) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	parked := e.share.IdleCaches(nil)
+	if parked == 0 {
+		t.Fatal("batch workers did not park their plan caches in the share")
+	}
+	// A second batch must reuse the parked caches, not mint more: the idle
+	// count cannot grow past the first batch's worker count.
+	for _, r := range e.DependsOnBatch(vl, queries) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if got := e.share.IdleCaches(nil); got > parked {
+		t.Fatalf("second batch minted fresh caches: %d idle, want <= %d", got, parked)
+	}
+}

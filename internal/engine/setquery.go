@@ -60,7 +60,7 @@ func (e *Engine) SetQueryBatchContext(ctx context.Context, cat query.Catalog, pr
 	if runnable == 0 {
 		return results, nil
 	}
-	if e.fanOut(ctx, len(exprs), func(s *core.QuerySession, i int) {
+	if e.fanOut(ctx, idx, len(exprs), func(s *core.QuerySession, i int) {
 		if results[i].Plan == nil {
 			return
 		}

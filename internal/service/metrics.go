@@ -1,0 +1,214 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is the hand-rolled Prometheus registry of the server: counters
+// and one histogram under a mutex, rendered in text exposition format at
+// scrape time. Session gauges (epoch, checkpoint lag) are not stored here —
+// the scrape walks the live registry instead, so a gauge can never go stale
+// relative to the sessions it describes.
+type metrics struct {
+	mu        sync.Mutex
+	queries   map[string]uint64 // per tenant: query requests admitted
+	steps     map[string]uint64 // per tenant: derivation steps applied
+	throttled map[string]uint64 // per tenant: requests refused with 429
+	draining  float64
+
+	// stepLatency observes the wall time one streamed step spends between
+	// being decoded and being accepted by the session's feed channel — the
+	// ingestion backpressure a producer actually feels per step.
+	stepBuckets [len(latencyBounds) + 1]uint64
+	stepSum     float64
+	stepCount   uint64
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds. The +Inf
+// bucket is implicit (the last slot of stepBuckets).
+var latencyBounds = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+func newMetrics() *metrics {
+	return &metrics{
+		queries:   make(map[string]uint64),
+		steps:     make(map[string]uint64),
+		throttled: make(map[string]uint64),
+	}
+}
+
+func (m *metrics) addQuery(tenant string) {
+	m.mu.Lock()
+	m.queries[tenant]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addSteps(tenant string, n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.steps[tenant] += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) addThrottled(tenant string) {
+	m.mu.Lock()
+	m.throttled[tenant]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeStep(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds[:], secs)
+	m.mu.Lock()
+	m.stepBuckets[i]++
+	m.stepSum += secs
+	m.stepCount++
+	m.mu.Unlock()
+}
+
+func (m *metrics) setDraining(on bool) {
+	m.mu.Lock()
+	if on {
+		m.draining = 1
+	} else {
+		m.draining = 0
+	}
+	m.mu.Unlock()
+}
+
+// sessionSample is one session's gauge row, collected at scrape time.
+type sessionSample struct {
+	tenant, scheme, session string
+	epoch                   uint64
+	lag                     float64 // epoch - last checkpoint; NaN for non-durable
+}
+
+// inflightSample is one tenant's admission occupancy at scrape time.
+type inflightSample struct {
+	tenant           string
+	queries, streams int
+}
+
+// write renders the registry in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, sessions []sessionSample, inflight []inflightSample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, tenant := range sortedKeys(vals) {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tenant, vals[tenant])
+		}
+	}
+	counter("fvld_queries_total", "Query requests admitted, by tenant.", m.queries)
+	counter("fvld_steps_total", "Derivation steps applied via step streams, by tenant.", m.steps)
+	counter("fvld_throttled_total", "Requests refused by admission control (429), by tenant.", m.throttled)
+
+	fmt.Fprintf(w, "# HELP fvld_step_latency_seconds Per-step ingestion latency (decode to feed accept).\n")
+	fmt.Fprintf(w, "# TYPE fvld_step_latency_seconds histogram\n")
+	var cum uint64
+	for i, bound := range latencyBounds {
+		cum += m.stepBuckets[i]
+		fmt.Fprintf(w, "fvld_step_latency_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+	}
+	fmt.Fprintf(w, "fvld_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", m.stepCount)
+	fmt.Fprintf(w, "fvld_step_latency_seconds_sum %g\n", m.stepSum)
+	fmt.Fprintf(w, "fvld_step_latency_seconds_count %d\n", m.stepCount)
+
+	fmt.Fprintf(w, "# HELP fvld_session_epoch Published step prefix (epoch) of each session.\n")
+	fmt.Fprintf(w, "# TYPE fvld_session_epoch gauge\n")
+	for _, s := range sessions {
+		fmt.Fprintf(w, "fvld_session_epoch{tenant=%q,scheme=%q,session=%q} %d\n",
+			s.tenant, s.scheme, s.session, s.epoch)
+	}
+	fmt.Fprintf(w, "# HELP fvld_session_checkpoint_lag_steps Steps applied since the last durable checkpoint.\n")
+	fmt.Fprintf(w, "# TYPE fvld_session_checkpoint_lag_steps gauge\n")
+	for _, s := range sessions {
+		if math.IsNaN(s.lag) {
+			continue
+		}
+		fmt.Fprintf(w, "fvld_session_checkpoint_lag_steps{tenant=%q,scheme=%q,session=%q} %g\n",
+			s.tenant, s.scheme, s.session, s.lag)
+	}
+
+	fmt.Fprintf(w, "# HELP fvld_inflight_queries Query requests currently executing, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE fvld_inflight_queries gauge\n")
+	for _, s := range inflight {
+		fmt.Fprintf(w, "fvld_inflight_queries{tenant=%q} %d\n", s.tenant, s.queries)
+	}
+	fmt.Fprintf(w, "# HELP fvld_inflight_streams Step streams currently open, by tenant.\n")
+	fmt.Fprintf(w, "# TYPE fvld_inflight_streams gauge\n")
+	for _, s := range inflight {
+		fmt.Fprintf(w, "fvld_inflight_streams{tenant=%q} %d\n", s.tenant, s.streams)
+	}
+
+	fmt.Fprintf(w, "# HELP fvld_draining Whether the server is refusing new writes.\n")
+	fmt.Fprintf(w, "# TYPE fvld_draining gauge\n")
+	fmt.Fprintf(w, "fvld_draining %g\n", m.draining)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float representation, no exponent for small magnitudes).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSessions walks the registry for the per-session gauges.
+func (s *Server) collectSessions() []sessionSample {
+	var out []sessionSample
+	for _, sess := range s.allSessions() {
+		sample := sessionSample{
+			tenant:  sess.tenant,
+			scheme:  sess.scheme.name,
+			session: sess.name,
+			epoch:   sess.sess.Epoch(),
+			lag:     math.NaN(),
+		}
+		if sess.durable != nil {
+			sample.lag = float64(sess.sess.Epoch()) - float64(sess.durable.LastCheckpoint())
+		}
+		out = append(out, sample)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.tenant != b.tenant {
+			return a.tenant < b.tenant
+		}
+		if a.scheme != b.scheme {
+			return a.scheme < b.scheme
+		}
+		return a.session < b.session
+	})
+	return out
+}
+
+// collectInflight reads each tenant's admission occupancy.
+func (s *Server) collectInflight() []inflightSample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]inflightSample, 0, len(s.tenants))
+	for name, t := range s.tenants {
+		out = append(out, inflightSample{
+			tenant:  name,
+			queries: len(t.queryTokens),
+			streams: len(t.streamTokens),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tenant < out[j].tenant })
+	return out
+}

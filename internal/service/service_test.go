@@ -1,0 +1,485 @@
+package service
+
+// End-to-end tests of the fvld service: a real HTTP server (httptest) driven
+// through the public repro/fvl/client, checked against the in-process fvl
+// surfaces the server wraps. The locks of PR 9's acceptance criteria live
+// here: remote answers byte-identical to in-process answers at the same
+// epoch, graceful drain + restart without losing acked steps, and 429 +
+// Retry-After at the admission bound.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/fvl"
+	"repro/fvl/client"
+	"repro/internal/service/wire"
+)
+
+// fixture is one workload wired for a test: the spec, the views the scheme
+// serves, and a deterministic run to stream.
+type fixture struct {
+	spec  *fvl.Spec
+	views []*fvl.View
+	view  string // primary view for queries
+	run   *fvl.Run
+	svc   *fvl.Service // in-process service over the same views
+}
+
+func paperFixture(t *testing.T, seed int64, size int) *fixture {
+	t.Helper()
+	spec := fvl.PaperExample()
+	sec, err := fvl.SecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []*fvl.View{spec.DefaultView(), sec}
+	run, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := fvl.Open(context.Background(), spec, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{spec: spec, views: views, view: sec.Name(), run: run, svc: svc}
+}
+
+// figure10Fixture serves the Figure 10 workload, which is not strictly
+// linear-recursive — so this fixture exercises the basic-scheme fallback
+// (Theorem 1) across the wire, not just the compact scheme.
+func figure10Fixture(t *testing.T, seed int64, size int) *fixture {
+	t.Helper()
+	spec := fvl.Figure10()
+	views := []*fvl.View{spec.DefaultView()}
+	run, err := fvl.RandomRun(spec, fvl.RunOptions{TargetSize: size, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := fvl.Open(context.Background(), spec, views, fvl.WithBasicScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{spec: spec, views: views, view: spec.DefaultView().Name(), run: run, svc: svc}
+}
+
+// startServer runs a Server behind httptest and returns a client for it.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return srv, ts, client.New(ts.URL)
+}
+
+// register uploads a fixture as tenant/scheme and opens a session over it.
+func register(t *testing.T, c *client.Client, f *fixture, tenant, scheme, session string, durable bool) (*client.Session, client.SessionStatus) {
+	t.Helper()
+	ctx := context.Background()
+	if err := c.CreateTenant(ctx, tenant); err != nil {
+		t.Fatalf("tenant %s: %v", tenant, err)
+	}
+	if _, err := c.RegisterService(ctx, tenant, scheme, f.svc); err != nil {
+		t.Fatalf("scheme %s/%s: %v", tenant, scheme, err)
+	}
+	sess, st, err := c.OpenSession(ctx, tenant, scheme, session, durable)
+	if err != nil {
+		t.Fatalf("session %s/%s/%s: %v", tenant, scheme, session, err)
+	}
+	return sess, st
+}
+
+// answerBytes renders a set answer in its wire form — the byte-identical
+// comparison between remote and in-process answers happens on exactly the
+// bytes the server would send.
+func answerBytes(t *testing.T, a fvl.SetAnswer) []byte {
+	t.Helper()
+	data, err := json.Marshal(wire.SetAnswer{Items: a.Items, Pairs: a.Pairs, Plan: a.Plan, Error: wire.ErrorOf(a.Err)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTwoTenantsEndToEnd is the acceptance lock of the tentpole: one fvld
+// process serving two tenants answers a streamed-session set query
+// byte-identical to an in-process fvl.Session.Query at the same epoch.
+func TestTwoTenantsEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, Config{})
+
+	fixtures := map[string]*fixture{
+		"alpha": paperFixture(t, 11, 60),
+		"beta":  figure10Fixture(t, 5, 40),
+	}
+	for tenant, f := range fixtures {
+		remote, _ := register(t, c, f, tenant, "wf", "run1", false)
+
+		// Stream the full derivation into the remote session, and mirror it
+		// into an in-process live session over the very same service.
+		local, err := f.svc.OpenLive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := f.run.StepLog()
+		res, err := remote.SendSteps(ctx, steps)
+		if err != nil {
+			t.Fatalf("%s: streaming %d steps: %v", tenant, len(steps), err)
+		}
+		if res.Applied != len(steps) || res.Epoch != uint64(len(steps)) {
+			t.Fatalf("%s: ack %+v, want %d steps applied", tenant, res, len(steps))
+		}
+		for _, req := range steps {
+			if _, err := local.Apply(req.Instance, req.Production); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		queries := []string{
+			"deps(3)",
+			"revdeps(2)",
+			"union(deps(3),revdeps(2))",
+			"explain(1)",
+		}
+		for _, text := range queries {
+			q, err := fvl.ParseQueryExpr(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remoteAns, remoteEpoch, err := remote.Query(ctx, f.view, q)
+			if err != nil {
+				t.Fatalf("%s: remote %s: %v", tenant, text, err)
+			}
+			localAns, localEpoch, err := local.Query(ctx, f.view, q)
+			if err != nil {
+				t.Fatalf("%s: local %s: %v", tenant, text, err)
+			}
+			if remoteEpoch != localEpoch {
+				t.Fatalf("%s: %s pinned epoch %d remotely, %d locally", tenant, text, remoteEpoch, localEpoch)
+			}
+			got, want := answerBytes(t, *remoteAns), answerBytes(t, *localAns)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: %s at epoch %d:\nremote %s\nlocal  %s", tenant, text, remoteEpoch, got, want)
+			}
+		}
+
+		// Point queries agree too, pinned to the same epoch.
+		itemQueries := []fvl.ItemQuery{{From: 1, To: 3}, {From: 2, To: 1}, {From: 1, To: 999}}
+		remoteRes, re, err := remote.DependsOnBatch(ctx, f.view, itemQueries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		localRes, le, err := local.DependsOnBatch(ctx, f.view, itemQueries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re != le {
+			t.Fatalf("%s: depends pinned epoch %d remotely, %d locally", tenant, re, le)
+		}
+		for i := range remoteRes {
+			if remoteRes[i].DependsOn != localRes[i].DependsOn {
+				t.Errorf("%s: depends[%d] = %v remotely, %v locally", tenant, i, remoteRes[i].DependsOn, localRes[i].DependsOn)
+			}
+			if (remoteRes[i].Err == nil) != (localRes[i].Err == nil) {
+				t.Errorf("%s: depends[%d] err = %v remotely, %v locally", tenant, i, remoteRes[i].Err, localRes[i].Err)
+			}
+			if localRes[i].Err != nil && !errors.Is(remoteRes[i].Err, fvl.ErrUnknownItem) {
+				t.Errorf("%s: depends[%d] remote error %v does not classify as ErrUnknownItem", tenant, i, remoteRes[i].Err)
+			}
+		}
+	}
+
+	// The tenants stayed isolated: each serves exactly its own scheme.
+	tenants, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 {
+		t.Fatalf("tenants = %v, want 2", tenants)
+	}
+}
+
+// TestErrorTaxonomyCrossesTheWire: a remote failure classifies under the
+// same errors.Is sentinels as a local one.
+func TestErrorTaxonomyCrossesTheWire(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, Config{})
+	f := figure10Fixture(t, 3, 30)
+	remote, _ := register(t, c, f, "t", "wf", "s", false)
+
+	if _, err := remote.SendSteps(ctx, f.run.StepLog()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := remote.Query(ctx, "no-such-view", fvl.DepsOf(1)); !errors.Is(err, fvl.ErrUnknownView) {
+		t.Fatalf("unknown view error %v does not classify as ErrUnknownView", err)
+	}
+	if _, _, err := remote.Query(ctx, f.view, fvl.DepsOf(10_000)); !errors.Is(err, fvl.ErrUnknownItem) {
+		t.Fatalf("unknown item error %v does not classify as ErrUnknownItem", err)
+	}
+}
+
+// TestStepStreamUntrustedInput: the step-ingestion surface is the journal
+// decoder — malformed bodies are refused with the journal taxonomy, and a
+// stream that fails mid-way still acks its applied prefix truthfully.
+func TestStepStreamUntrustedInput(t *testing.T) {
+	ctx := context.Background()
+	_, ts, c := startServer(t, Config{})
+	f := figure10Fixture(t, 3, 30)
+	remote, _ := register(t, c, f, "t", "wf", "s", false)
+
+	// Garbage body: rejected by the header check, nothing applied.
+	resp, err := http.Post(ts.URL+wire.StepsPath("t", "wf", "s"), "application/octet-stream",
+		strings.NewReader("not a journal at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack wire.StepsResult
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage stream: status %d, want 400", resp.StatusCode)
+	}
+	if ack.Error == nil || !errors.Is(ack.Error.Err(), fvl.ErrCorruptJournal) {
+		t.Fatalf("garbage stream error %+v does not classify as ErrCorruptJournal", ack.Error)
+	}
+
+	// A well-formed journal whose steps stop applying: the valid prefix is
+	// acked, the failing step reports ErrInvalidStep, and the session
+	// remains usable at the acked epoch.
+	steps := f.run.StepLog()
+	bad := append(append([]fvl.StepRequest{}, steps[:2]...), fvl.StepRequest{Instance: 9999, Production: 1})
+	res, err := remote.SendSteps(ctx, bad)
+	if !errors.Is(err, fvl.ErrInvalidStep) {
+		t.Fatalf("invalid step error %v does not classify as ErrInvalidStep", err)
+	}
+	if res.Applied != 2 || res.Epoch != 2 {
+		t.Fatalf("ack after failing stream = %+v, want applied=2 epoch=2", res)
+	}
+	st, err := remote.Status(ctx)
+	if err != nil || st.Epoch != 2 {
+		t.Fatalf("session after failing stream: %+v, %v", st, err)
+	}
+}
+
+// TestAdmissionControl429: when a tenant's in-flight bound is exceeded the
+// server answers 429 with Retry-After, and the refusal classifies as
+// client.ErrThrottled; the other tenant is unaffected.
+func TestAdmissionControl429(t *testing.T) {
+	ctx := context.Background()
+	srv, ts, c := startServer(t, Config{MaxInflightQueries: 2, MaxInflightStreams: 1})
+	f := figure10Fixture(t, 3, 30)
+	remote, _ := register(t, c, f, "busy", "wf", "s", false)
+	calm := figure10Fixture(t, 4, 30)
+	calmSess, _ := register(t, c, calm, "calm", "wf", "s", false)
+	if _, err := remote.SendSteps(ctx, f.run.StepLog()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calmSess.SendSteps(ctx, calm.run.StepLog()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the busy tenant's whole query budget directly — deterministic,
+	// no timing games — then hit the bound over HTTP.
+	busy, ok := srv.lookupTenant("busy")
+	if !ok {
+		t.Fatal("tenant not registered")
+	}
+	for i := 0; i < cap(busy.queryTokens); i++ {
+		if !acquire(busy.queryTokens) {
+			t.Fatal("could not occupy the query budget")
+		}
+	}
+	body, _ := json.Marshal(wire.QueryRequest{View: f.view, Exprs: []string{"deps(1)"}})
+	resp, err := http.Post(ts.URL+wire.QueryPath("busy", "wf", "s"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget query: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The typed client surfaces the refusal as ErrThrottled.
+	if _, _, err := remote.Query(ctx, f.view, fvl.DepsOf(1)); !errors.Is(err, client.ErrThrottled) {
+		t.Fatalf("throttled query error %v does not classify as client.ErrThrottled", err)
+	}
+	// The calm tenant still answers: admission budgets are per tenant.
+	if _, _, err := calmSess.Query(ctx, calm.view, fvl.DepsOf(1)); err != nil {
+		t.Fatalf("calm tenant throttled by busy tenant: %v", err)
+	}
+	for i := 0; i < cap(busy.queryTokens); i++ {
+		release(busy.queryTokens)
+	}
+	if _, _, err := remote.Query(ctx, f.view, fvl.DepsOf(1)); err != nil {
+		t.Fatalf("query after budget freed: %v", err)
+	}
+
+	// The refusals showed up in the metrics.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `fvld_throttled_total{tenant="busy"} 2`) {
+		t.Errorf("metrics missing throttle count for busy tenant:\n%s", metrics)
+	}
+}
+
+// TestDrainRestartResume is the durability lock: acked steps survive a
+// graceful drain and a full server restart, and the resumed session answers
+// exactly as before.
+func TestDrainRestartResume(t *testing.T) {
+	ctx := context.Background()
+	dataDir := t.TempDir()
+	f := paperFixture(t, 11, 60)
+	steps := f.run.StepLog()
+	half := len(steps) / 2
+
+	srv, ts, c := startServer(t, Config{DataDir: dataDir})
+	remote, st := register(t, c, f, "t", "wf", "s", true)
+	if st.Resumed || !st.Durable {
+		t.Fatalf("fresh durable session status %+v", st)
+	}
+	res, err := remote.SendSteps(ctx, steps[:half])
+	if err != nil || res.Applied != half {
+		t.Fatalf("first half: %+v, %v", res, err)
+	}
+
+	// Drain: the response reports the checkpoint taken after in-flight work
+	// completed, writes are refused with a typed error, reads still served.
+	checkpointed, err := c.Drain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpointed) != 1 || checkpointed[0].Checkpoint != half {
+		t.Fatalf("drain checkpointed %+v, want the session at epoch %d", checkpointed, half)
+	}
+	if _, err := remote.SendSteps(ctx, steps[half:]); !errors.Is(err, client.ErrDraining) {
+		t.Fatalf("write during drain: %v, want ErrDraining", err)
+	}
+	if !srv.Draining() {
+		t.Fatal("server does not report draining")
+	}
+	if _, _, err := remote.Query(ctx, f.view, fvl.DepsOf(1)); err != nil {
+		t.Fatalf("read during drain refused: %v", err)
+	}
+
+	// Resume: refused writers retry and succeed.
+	if err := c.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err = remote.SendSteps(ctx, steps[half:])
+	if err != nil || res.Epoch != uint64(len(steps)) {
+		t.Fatalf("second half after resume: %+v, %v", res, err)
+	}
+	wantAns, wantEpoch, err := remote.Query(ctx, f.view, fvl.RevDepsOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full restart: drain, shut the server down, bring a fresh process up
+	// over the same data dir. The scheme reloads from its persisted
+	// snapshot; the session resumes from its journal at the acked epoch.
+	if _, err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, c2 := startServer(t, Config{DataDir: dataDir})
+	sess2, st2, err := c2.OpenSession(ctx, "t", "wf", "s", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Resumed || st2.Epoch != uint64(len(steps)) {
+		t.Fatalf("restarted session status %+v, want resumed at epoch %d", st2, len(steps))
+	}
+	gotAns, gotEpoch, err := sess2.Query(ctx, f.view, fvl.RevDepsOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEpoch != wantEpoch {
+		t.Fatalf("epoch %d after restart, want %d", gotEpoch, wantEpoch)
+	}
+	if got, want := answerBytes(t, *gotAns), answerBytes(t, *wantAns); !bytes.Equal(got, want) {
+		t.Fatalf("answer after restart:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestJournalExportRoundTrip: the journal endpoint exports bytes a local
+// fvl.ResumeLive accepts, rebuilding the session at the same epoch.
+func TestJournalExportRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, Config{})
+	f := figure10Fixture(t, 9, 30)
+	remote, _ := register(t, c, f, "t", "wf", "s", false)
+	if _, err := remote.SendSteps(ctx, f.run.StepLog()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := remote.WriteJournal(ctx, &buf); err != nil {
+		t.Fatal(err)
+	}
+	local, err := f.svc.ResumeLive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Epoch() != uint64(len(f.run.StepLog())) {
+		t.Fatalf("resumed local session at epoch %d, want %d", local.Epoch(), len(f.run.StepLog()))
+	}
+}
+
+// TestMetricsEndpoint: the Prometheus text surface carries the advertised
+// families with per-tenant and per-session labels.
+func TestMetricsEndpoint(t *testing.T) {
+	ctx := context.Background()
+	_, _, c := startServer(t, Config{})
+	f := figure10Fixture(t, 3, 30)
+	remote, _ := register(t, c, f, "t", "wf", "s", false)
+	if _, err := remote.SendSteps(ctx, f.run.StepLog()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := remote.Query(ctx, f.view, fvl.DepsOf(1)); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fvld_queries_total{tenant="t"} 1`,
+		`fvld_steps_total{tenant="t"} ` + itoa(len(f.run.StepLog())),
+		"fvld_step_latency_seconds_count " + itoa(len(f.run.StepLog())),
+		`fvld_session_epoch{tenant="t",scheme="wf",session="s"} ` + itoa(len(f.run.StepLog())),
+		`fvld_inflight_queries{tenant="t"} 0`,
+		"fvld_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func itoa(n int) string {
+	data, _ := json.Marshal(n)
+	return string(data)
+}

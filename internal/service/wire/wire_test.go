@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{"a", "alpha", "wf-run.2", "A_b-c.d", "x9", "dots..inside", strings.Repeat("a", 64)}
+	for _, name := range valid {
+		if !ValidName(name) {
+			t.Errorf("ValidName(%q) = false, want true", name)
+		}
+	}
+	invalid := []string{"", ".hidden", ".", "..", "has space", "slash/y", "unié",
+		"semi;colon", "tab\tname", strings.Repeat("a", 65)}
+	for _, name := range invalid {
+		if ValidName(name) {
+			t.Errorf("ValidName(%q) = true, want false", name)
+		}
+	}
+}
+
+// Every sentinel in the kinds table must survive a full wire round trip:
+// ErrorOf → JSON → Err() → errors.Is against the original sentinel.
+func TestErrorKindsRoundTrip(t *testing.T) {
+	sentinels := []error{
+		faults.ErrCanceled, faults.ErrUnknownView, faults.ErrForeignLabel,
+		faults.ErrCorruptSnapshot, faults.ErrUnsafeView, faults.ErrNotLinearRecursive,
+		faults.ErrHiddenItem, faults.ErrUnknownItem, faults.ErrCorruptJournal,
+		faults.ErrTornJournal, faults.ErrCorruptManifest, faults.ErrCorruptCheckpoint,
+		faults.ErrInvalidStep, faults.ErrInvalidQuery,
+	}
+	for _, sentinel := range sentinels {
+		wrapped := Errorf("context: %w", sentinel)
+		we := ErrorOf(wrapped)
+		if we == nil {
+			t.Fatalf("ErrorOf(%v) = nil", sentinel)
+		}
+		if we.Kind == "" {
+			t.Errorf("ErrorOf(%v) has no kind", sentinel)
+		}
+		data, err := json.Marshal(we)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Error
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		remote := back.Err()
+		if !errors.Is(remote, sentinel) {
+			t.Errorf("kind %q: errors.Is lost %v after the round trip", we.Kind, sentinel)
+		}
+		if remote.Error() != wrapped.Error() {
+			t.Errorf("kind %q: message %q, want %q", we.Kind, remote.Error(), wrapped.Error())
+		}
+	}
+}
+
+// A torn journal also wraps ErrCorruptJournal; the wire must keep the more
+// specific kind so remote callers can distinguish truncation from garbage.
+func TestTornJournalKeepsSpecificKind(t *testing.T) {
+	we := ErrorOf(Errorf("tail: %w", faults.ErrTornJournal))
+	if we.Kind != "torn-journal" {
+		t.Fatalf("kind = %q, want torn-journal", we.Kind)
+	}
+	if !errors.Is(we.Err(), faults.ErrCorruptJournal) {
+		t.Fatal("torn-journal no longer implies corrupt-journal remotely")
+	}
+}
+
+func TestErrorOfPlainError(t *testing.T) {
+	we := ErrorOf(Errorf("plain failure"))
+	if we.Kind != "" {
+		t.Fatalf("plain error got kind %q", we.Kind)
+	}
+	remote := we.Err()
+	if remote.Error() != "plain failure" {
+		t.Fatalf("message = %q", remote.Error())
+	}
+	if errors.Is(remote, faults.ErrInvalidStep) {
+		t.Fatal("kindless error unwraps to a sentinel")
+	}
+	if ErrorOf(nil) != nil {
+		t.Fatal("ErrorOf(nil) != nil")
+	}
+}
+
+func TestStepCodecRoundTrip(t *testing.T) {
+	steps := []Step{{1, 1}, {2, 3}, {3, 2}, {1, 4}}
+	data, err := EncodeSteps(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewStepDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Step
+	for {
+		s, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	if len(got) != len(steps) {
+		t.Fatalf("decoded %d steps, want %d", len(got), len(steps))
+	}
+	for i := range steps {
+		if got[i] != steps[i] {
+			t.Fatalf("step %d = %+v, want %+v", i, got[i], steps[i])
+		}
+	}
+	if dec.Steps() != len(steps) {
+		t.Fatalf("Steps() = %d, want %d", dec.Steps(), len(steps))
+	}
+}
+
+func TestStepDecoderRejectsGarbage(t *testing.T) {
+	if _, err := NewStepDecoder(strings.NewReader("not a journal")); !errors.Is(err, faults.ErrCorruptJournal) {
+		t.Fatalf("garbage header: %v, want ErrCorruptJournal", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{faults.ErrCorruptJournal, "bad-request"},
+		{faults.ErrInvalidQuery, "bad-request"},
+		{faults.ErrInvalidStep, "unprocessable"},
+		{faults.ErrUnknownItem, "unprocessable"},
+		{faults.ErrUnknownView, "unprocessable"},
+		{Errorf("anything else"), "internal"},
+	}
+	for _, tc := range cases {
+		if got := Classify(Errorf("wrap: %w", tc.err)); got != tc.want {
+			t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
