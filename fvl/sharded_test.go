@@ -1,0 +1,263 @@
+package fvl_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/fvl"
+)
+
+// replaySteps records every step drive applied to a session so the same
+// script can be replayed into another.
+func recordDrive(t *testing.T, sess *fvl.Session, maxEpoch uint64, seed int64) []fvl.StepRequest {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var steps []fvl.StepRequest
+	for sess.Epoch() < maxEpoch {
+		frontier := sess.Frontier()
+		if len(frontier) == 0 {
+			return steps
+		}
+		inst := frontier[rng.Intn(len(frontier))]
+		prods := sess.Expandable(inst)
+		if len(prods) == 0 {
+			continue
+		}
+		req := fvl.StepRequest{Instance: inst, Production: prods[rng.Intn(len(prods))]}
+		if _, err := sess.Apply(req.Instance, req.Production); err != nil {
+			t.Fatalf("apply(%d): %v", req.Instance, err)
+		}
+		steps = append(steps, req)
+	}
+	return steps
+}
+
+// checkSessionsAgree compares a sharded and an unsharded session at the same
+// epoch: point queries and set queries must answer identically, error for
+// error.
+func checkSessionsAgree(t *testing.T, viewName string, plain, sharded *fvl.Session) {
+	t.Helper()
+	ctx := context.Background()
+	if p, s := plain.Epoch(), sharded.Epoch(); p != s {
+		t.Fatalf("epochs diverge: plain %d, sharded %d", p, s)
+	}
+	if p, s := plain.Items(), sharded.Items(); p != s {
+		t.Fatalf("item counts diverge: plain %d, sharded %d", p, s)
+	}
+	n := plain.Items()
+	for id := 1; id <= n+1; id++ {
+		pl, pok := plain.Label(id)
+		sl, sok := sharded.Label(id)
+		if pok != sok {
+			t.Fatalf("item %d: plain resolves %v, sharded %v", id, pok, sok)
+		}
+		if pok && pl.String() != sl.String() {
+			t.Fatalf("item %d: labels diverge:\n  plain   %s\n  sharded %s", id, pl, sl)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(int64(n)))
+	queries := make([]fvl.ItemQuery, 24)
+	for i := range queries {
+		queries[i] = fvl.ItemQuery{From: 1 + rng.Intn(n+2), To: 1 + rng.Intn(n+2)}
+	}
+	pres, pepoch, perr := plain.DependsOnBatch(ctx, viewName, queries)
+	sres, sepoch, serr := sharded.DependsOnBatch(ctx, viewName, queries)
+	if (perr == nil) != (serr == nil) {
+		t.Fatalf("batch errors diverge: plain %v, sharded %v", perr, serr)
+	}
+	if pepoch != sepoch {
+		t.Fatalf("batch epochs diverge: plain %d, sharded %d", pepoch, sepoch)
+	}
+	for i := range pres {
+		if pres[i].DependsOn != sres[i].DependsOn || (pres[i].Err == nil) != (sres[i].Err == nil) {
+			t.Fatalf("query %d (%+v): plain (%v,%v), sharded (%v,%v)",
+				i, queries[i], pres[i].DependsOn, pres[i].Err, sres[i].DependsOn, sres[i].Err)
+		}
+		if pres[i].Err != nil && !errors.Is(sres[i].Err, pres[i].Err) && pres[i].Err.Error() != sres[i].Err.Error() {
+			t.Fatalf("query %d: error sentinels diverge: %v vs %v", i, pres[i].Err, sres[i].Err)
+		}
+	}
+
+	x, y := 1+rng.Intn(n), 1+rng.Intn(n)
+	exprs := []fvl.QueryExpr{
+		fvl.DepsOf(x),
+		fvl.RevDepsOf(y),
+		fvl.ExplainOutputs(x, y),
+		fvl.DepsOf(x).Union(fvl.RevDepsOf(x)),
+		fvl.DepsOf(x).Intersect(fvl.DepsOf(y)),
+		fvl.DepsOf(n + 7),
+	}
+	pans, pepoch, perr := plain.QueryBatch(ctx, viewName, exprs)
+	sans, sepoch, serr := sharded.QueryBatch(ctx, viewName, exprs)
+	if (perr == nil) != (serr == nil) || pepoch != sepoch {
+		t.Fatalf("set batch diverges: plain (%d,%v), sharded (%d,%v)", pepoch, perr, sepoch, serr)
+	}
+	for i := range pans {
+		if (pans[i].Err == nil) != (sans[i].Err == nil) {
+			t.Fatalf("set query %d (%s): plain err %v, sharded err %v", i, exprs[i], pans[i].Err, sans[i].Err)
+		}
+		if pans[i].Err != nil {
+			continue
+		}
+		if !reflect.DeepEqual(pans[i].Items, sans[i].Items) || !reflect.DeepEqual(pans[i].Pairs, sans[i].Pairs) {
+			t.Fatalf("set query %d (%s): answers diverge:\n  plain   %v %v\n  sharded %v %v",
+				i, exprs[i], pans[i].Items, pans[i].Pairs, sans[i].Items, sans[i].Pairs)
+		}
+	}
+}
+
+// TestWithShardsMatchesUnsharded drives the same random script into an
+// unsharded live session and sharded ones (N = 1, 2, 3), comparing labels,
+// point queries and set queries at several epochs along the way.
+func TestWithShardsMatchesUnsharded(t *testing.T) {
+	svc, viewName := liveService(t)
+	plain, err := svc.OpenLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := recordDrive(t, plain, 120, 99)
+	if len(steps) < 20 {
+		t.Fatalf("script too short: %d steps", len(steps))
+	}
+
+	for _, n := range []int{1, 2, 3} {
+		sharded, err := svc.OpenLive(fvl.WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", sharded.Shards(), n)
+		}
+		// Replay in thirds so intermediate epochs are compared too.
+		ref, err := svc.OpenLive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut <= 3; cut++ {
+			hi := len(steps) * cut / 3
+			for i := int(ref.Epoch()); i < hi; i++ {
+				if _, err := ref.Apply(steps[i].Instance, steps[i].Production); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := int(sharded.Epoch()); i < hi; i++ {
+				if _, err := sharded.Apply(steps[i].Instance, steps[i].Production); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkSessionsAgree(t, viewName, ref, sharded)
+		}
+	}
+}
+
+// TestShardedJournalRoundTrip journals a sharded session, resumes it both
+// sharded and unsharded, and requires agreement: the journal records global
+// steps, so the layouts are interchangeable.
+func TestShardedJournalRoundTrip(t *testing.T) {
+	svc, viewName := liveService(t)
+	var journal bytes.Buffer
+	sess, err := svc.OpenLive(fvl.WithShards(2), fvl.WithStepJournal(&journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordDrive(t, sess, 80, 5)
+
+	plain, err := svc.ResumeLive(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSessionsAgree(t, viewName, plain, sess)
+
+	resharded, err := svc.ResumeLive(bytes.NewReader(journal.Bytes()), fvl.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSessionsAgree(t, viewName, plain, resharded)
+
+	// WriteJournal exports the same global step sequence from a sharded
+	// session as from an unsharded one.
+	var exported, exportedPlain bytes.Buffer
+	if err := sess.WriteJournal(&exported); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteJournal(&exportedPlain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exported.Bytes(), exportedPlain.Bytes()) {
+		t.Fatal("sharded and unsharded journal exports differ")
+	}
+}
+
+// TestShardedDurableRoundTrip runs the durable sharded session through the
+// public API: open with WithShards, checkpoint mid-run, close, resume (the
+// directory's manifest picks the sharded layout), and compare against an
+// unsharded replay.
+func TestShardedDurableRoundTrip(t *testing.T) {
+	svc, viewName := liveService(t)
+	dir := filepath.Join(t.TempDir(), "sess")
+	sess, err := svc.OpenDurable(dir, fvl.WithShards(3), fvl.WithSegmentSteps(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := recordDrive(t, sess.Session, 90, 11)
+	if err := sess.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	more := recordDrive(t, sess.Session, uint64(len(steps)+20), 13)
+	steps = append(steps, more...)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := svc.ResumeDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Shards() != 3 {
+		t.Fatalf("resumed session has %d shards, want 3 from the directory manifest", resumed.Shards())
+	}
+	info := resumed.Recovery()
+	if info == nil || info.CheckpointStep == 0 {
+		t.Fatalf("recovery info %+v, want a checkpoint", info)
+	}
+	if info.ReplayedSteps != len(steps)-info.CheckpointStep {
+		t.Fatalf("replayed %d steps, want the tail %d", info.ReplayedSteps, len(steps)-info.CheckpointStep)
+	}
+
+	plain, err := svc.OpenLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range steps {
+		if _, err := plain.Apply(req.Instance, req.Production); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSessionsAgree(t, viewName, plain, resumed.Session)
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionOptionMisuse covers the option cross-wiring errors.
+func TestSessionOptionMisuse(t *testing.T) {
+	svc, _ := liveService(t)
+	if _, err := svc.OpenLive(fvl.WithSegmentSteps(8)); err == nil {
+		t.Fatal("OpenLive accepted a durable option")
+	}
+	if _, err := svc.OpenDurable(filepath.Join(t.TempDir(), "s"), fvl.WithStepJournal(&bytes.Buffer{})); err == nil {
+		t.Fatal("OpenDurable accepted WithStepJournal")
+	}
+	if _, err := svc.OpenLive(fvl.WithShards(-1)); err == nil {
+		t.Fatal("OpenLive accepted negative shards")
+	}
+	if _, err := svc.OpenLive(fvl.WithShards(65)); err == nil {
+		t.Fatal("OpenLive accepted 65 shards")
+	}
+}

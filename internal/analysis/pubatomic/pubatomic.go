@@ -4,8 +4,9 @@
 // published is immutable and must not alias state the producer keeps
 // mutating.
 //
-// Three concrete rules, checked in packages under internal/live and
-// internal/durable:
+// Three concrete rules, checked in packages under internal/live,
+// internal/durable and internal/shard (whose per-shard epochs publish through
+// the same atomic.Pointer discipline):
 //
 //  1. Single publish path — all Store/Swap/CompareAndSwap calls on one
 //     atomic.Pointer field must live in a single function. A second store
@@ -44,7 +45,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	if !strings.Contains(pass.PkgPath, "internal/live") && !strings.Contains(pass.PkgPath, "internal/durable") {
+	if !strings.Contains(pass.PkgPath, "internal/live") &&
+		!strings.Contains(pass.PkgPath, "internal/durable") &&
+		!strings.Contains(pass.PkgPath, "internal/shard") {
 		return nil
 	}
 

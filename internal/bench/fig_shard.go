@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/live"
+	"repro/internal/shard"
+	"repro/internal/workloads"
+)
+
+// ShardScaling is not a figure of the paper: it measures the cost model of
+// the sharded session layer. The same recorded derivation is replayed into
+// an unsharded live session and into N-shard coordinators (N = 1, 2, 4, 8),
+// and the experiment reports the per-step apply latency the producer pays
+// and the batch query throughput a reader gets against one pinned epoch
+// vector. Apply is coordinator-serialized by design (the ack means the
+// owning shard has published), so single-producer apply latency should stay
+// roughly flat across N — sharding buys partitioned label state and
+// scatter-gather reads, not a faster single writer. Query throughput over
+// the pinned vector should stay close to the unsharded prefix: the vector
+// resolves an item with one ownership computation plus a shard-local read.
+func ShardScaling(cfg Config) (*Table, error) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		return nil, err
+	}
+	recorded, err := workloads.RandomRun(spec, workloads.RunOptions{
+		TargetSize: cfg.MultiViewRunSize,
+		Rand:       newRand(cfg.Seed + 2500),
+	})
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]live.StepRequest, len(recorded.Steps))
+	for i, st := range recorded.Steps {
+		steps[i] = live.StepRequest{Instance: st.Instance, Prod: st.Prod}
+	}
+
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "shard", Composites: 8, Mode: workloads.GreyBox, Rand: newRand(cfg.Seed + 2600),
+	})
+	if err != nil {
+		return nil, err
+	}
+	vl, err := scheme.LabelView(v, core.VariantQueryEfficient)
+	if err != nil {
+		return nil, err
+	}
+
+	batchSize := cfg.Queries / 10
+	if batchSize < 64 {
+		batchSize = 64
+	}
+	if batchSize > 4096 {
+		batchSize = 4096
+	}
+	samples := cfg.SamplesPerPoint
+	if samples < 1 {
+		samples = 1
+	}
+	e := engine.New(cfg.Workers)
+
+	t := &Table{
+		Name: "shard",
+		Title: fmt.Sprintf("Sharded sessions: %d-step ingestion, %d-query batches against one pinned epoch vector",
+			len(steps), batchSize),
+		Columns: []string{"shards", "per-step apply (us)", "queries/s", "pin (us)"},
+		Notes: "apply latency should stay roughly flat across N (the coordinator serializes the ack path); " +
+			"query throughput over the epoch vector should stay close to the unsharded prefix",
+	}
+
+	// measure runs one configuration: apply the full script through apply,
+	// then batch-query the pinned source.
+	measure := func(label string, apply func(live.StepRequest) error, pin func() (engine.LabelSource, int, time.Duration)) error {
+		var applyTime time.Duration
+		for _, req := range steps {
+			start := time.Now()
+			if err := apply(req); err != nil {
+				return err
+			}
+			applyTime += time.Since(start)
+		}
+		src, items, pinTime := pin()
+		rng := rand.New(rand.NewSource(cfg.Seed + 2700))
+		queries := make([]engine.ItemQuery, batchSize)
+		for i := range queries {
+			queries[i] = engine.ItemQuery{From: 1 + rng.Intn(items), To: 1 + rng.Intn(items)}
+		}
+		var queryTime time.Duration
+		var answered int64
+		for s := 0; s < samples; s++ {
+			start := time.Now()
+			results := e.DependsOnItemsBatch(vl, src, queries)
+			queryTime += time.Since(start)
+			answered += int64(len(results))
+		}
+		perStep := time.Duration(0)
+		if len(steps) > 0 {
+			perStep = applyTime / time.Duration(len(steps))
+		}
+		qps := 0.0
+		if queryTime > 0 {
+			qps = float64(answered) / queryTime.Seconds()
+		}
+		t.Rows = append(t.Rows, []string{label, fmtUs(perStep), fmt.Sprintf("%.0f", qps), fmtUs(pinTime)})
+		return nil
+	}
+
+	// Unsharded baseline: a plain live session.
+	sess, err := live.NewSession(scheme)
+	if err != nil {
+		return nil, err
+	}
+	err = measure("unsharded",
+		func(req live.StepRequest) error { _, err := sess.Apply(req.Instance, req.Prod); return err },
+		func() (engine.LabelSource, int, time.Duration) {
+			start := time.Now()
+			prefix := sess.Current()
+			return prefix, prefix.Items(), time.Since(start)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		if n > shard.MaxShards {
+			break
+		}
+		shards := make([]shard.Shard, n)
+		for k := range shards {
+			m, err := shard.NewMem(scheme, nil)
+			if err != nil {
+				return nil, err
+			}
+			shards[k] = m
+		}
+		coord, err := shard.New(scheme, shards, nil)
+		if err != nil {
+			return nil, err
+		}
+		err = measure(fmtCount(n),
+			func(req live.StepRequest) error { _, err := coord.Apply(req.Instance, req.Prod); return err },
+			func() (engine.LabelSource, int, time.Duration) {
+				start := time.Now()
+				pin := coord.Pin()
+				return pin, pin.Items(), time.Since(start)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

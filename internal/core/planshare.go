@@ -108,7 +108,7 @@ func (ps *PlanShare) tracked(idx *ItemIndex) bool {
 }
 
 // IdleCaches reports how many caches the share currently holds for idx —
-// a observability probe for tests and metrics, not a scheduling input.
+// an observability probe for tests and metrics, not a scheduling input.
 func (ps *PlanShare) IdleCaches(idx *ItemIndex) int {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()

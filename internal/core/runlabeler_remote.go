@@ -1,0 +1,119 @@
+package core
+
+// Remote labeling: the pieces that let the dynamic labeling algorithm run
+// split across a coordinator and N label shards. The coordinator owns the
+// run's structure and the compressed parse tree (a paths-only tracker); it
+// resolves every new item's port-owner paths and ships them to the owning
+// shard as RemoteItems. The shard assigns labels with LabelRemote — byte for
+// byte the labels OnInit/OnStep would have assigned — without ever seeing
+// the run. The Shard interface in internal/shard stays narrow because this
+// is its entire data contract.
+
+import (
+	"fmt"
+)
+
+// NewPathTracker returns a paths-only labeler: OnInit and OnStep maintain
+// the compressed parse tree exactly as a full labeler would, but no data
+// labels are assigned. PathOf exposes the tracked paths.
+func (s *Scheme) NewPathTracker() *RunLabeler {
+	l := s.NewRunLabeler()
+	l.pathsOnly = true
+	return l
+}
+
+// RestorePathTracker rebuilds a paths-only tracker from persisted frontier
+// paths (see FrontierPaths), for resuming a sharded coordinator from a
+// structural checkpoint.
+func (s *Scheme) RestorePathTracker(paths map[int][]EdgeLabel) (*RunLabeler, error) {
+	l, err := s.RestoreRunLabeler(nil, paths)
+	if err != nil {
+		return nil, err
+	}
+	l.pathsOnly = true
+	return l, nil
+}
+
+// PathOf returns the parse-tree path tracked for the given module instance.
+// The returned slice is the tracker's own storage: callers must treat it as
+// read-only. Paths are immutable once stored (appendEdge always allocates),
+// so sharing is safe across goroutines that observe the store happen-before.
+func (l *RunLabeler) PathOf(instanceID int) ([]EdgeLabel, bool) {
+	p, ok := l.instPath[instanceID]
+	return p, ok
+}
+
+// RemotePort names one endpoint of a data item by the parse-tree path of the
+// port's owning instance plus the port index — everything portLabel needs.
+// Path is read-only shared state; LabelRemote copies it into the label.
+type RemotePort struct {
+	Path []EdgeLabel
+	Port int
+}
+
+// RemoteItem is one data item as shipped to its owning shard: the item ID
+// and its source/destination ports. A nil Src marks an initial input (the
+// label carries only an In half); a nil Dst marks a final output (Out only).
+type RemoteItem struct {
+	ID  int
+	Src *RemotePort
+	Dst *RemotePort
+}
+
+func remotePortLabel(p *RemotePort) *PortLabel {
+	return &PortLabel{Path: append([]EdgeLabel(nil), p.Path...), Port: p.Port}
+}
+
+// LabelRemote assigns labels for a batch of remotely-described items,
+// storing them in the labeler and returning them in input order. The labels
+// are byte-identical to what OnInit/OnStep assign for the same items:
+// Src-side Out half, Dst-side In half, each a copy of the owner path plus
+// the port index. Labels are write-once — relabeling an ID fails.
+func (l *RunLabeler) LabelRemote(items []RemoteItem) ([]*DataLabel, error) {
+	out := make([]*DataLabel, len(items))
+	for i, item := range items {
+		if item.ID <= 0 {
+			return nil, fmt.Errorf("core: remote item has invalid ID %d", item.ID)
+		}
+		if _, dup := l.labels[item.ID]; dup {
+			return nil, fmt.Errorf("core: remote item %d already labeled", item.ID)
+		}
+		if item.Src == nil && item.Dst == nil {
+			return nil, fmt.Errorf("core: remote item %d has neither source nor destination port", item.ID)
+		}
+		d := &DataLabel{}
+		if item.Src != nil {
+			d.Out = remotePortLabel(item.Src)
+		}
+		if item.Dst != nil {
+			d.In = remotePortLabel(item.Dst)
+		}
+		l.labels[item.ID] = d
+		out[i] = d
+	}
+	return out, nil
+}
+
+// RestoreSparseRunLabeler rebuilds a shard's labeler from persisted state:
+// labels[i] belongs to item ids[i]. Unlike RestoreRunLabeler the IDs need
+// not be contiguous — a shard owns an interleaved slice of the ID space —
+// but they must be strictly increasing (shard-local production order), and
+// every label must be non-nil.
+func (s *Scheme) RestoreSparseRunLabeler(ids []int, labels []*DataLabel) (*RunLabeler, error) {
+	if len(ids) != len(labels) {
+		return nil, fmt.Errorf("core: sparse restore has %d ids but %d labels", len(ids), len(labels))
+	}
+	l := s.NewRunLabeler()
+	prev := 0
+	for i, id := range ids {
+		if id <= prev {
+			return nil, fmt.Errorf("core: sparse restore ids not strictly increasing at index %d (%d after %d)", i, id, prev)
+		}
+		if labels[i] == nil {
+			return nil, fmt.Errorf("core: restored label for item %d is nil", id)
+		}
+		l.labels[id] = labels[i]
+		prev = id
+	}
+	return l, nil
+}

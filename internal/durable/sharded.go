@@ -1,0 +1,641 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/labelstore"
+	"repro/internal/live"
+	"repro/internal/run"
+	"repro/internal/shard"
+)
+
+// A sharded session stores one run across N label shards (internal/shard),
+// each with its own journal and checkpoint files, under one commit record:
+//
+//	dir/MANIFEST          — the commit record; Shards = N marks the layout
+//	dir/coord/ckpt-*.fvlc — coordinator checkpoints (structure + paths)
+//	dir/shard-KK/         — shard K's segments and label checkpoints
+//
+// Each shard journals only its own steps, so a shard segment's base is a
+// LOCAL step count: record j of shard K's seg-<b>.fvlj is the shard's local
+// step b+j, which is global step K + (b+j-1)*N + 1. Checkpoint files in every
+// directory are named by the GLOBAL epoch they were committed at.
+//
+// The checkpoint order is: drain in-flight dispatches, sync every active
+// segment, write the coordinator checkpoint and every shard checkpoint
+// atomically, then rewrite the top-level MANIFEST — the single commit point
+// for all N+1 artifacts — and finally compact every directory.
+//
+// Recovery loads the committed checkpoint set, reads each shard's journal
+// tail, and rebuilds the longest globally consistent prefix
+//
+//	E = min over K of (K + a_K * N)
+//
+// where a_K is shard K's recovered local step count. A shard that got ahead
+// of a crash (its journal holds steps whose predecessors on other shards
+// never reached the disk) is physically truncated back to its share of E, so
+// the reopened journals are exactly the recovered prefix. The tail steps
+// past the checkpoint are replayed through the coordinator in global order —
+// the production code path, with every sink suppressed — which re-labels
+// byte-identically by construction.
+
+// shardDirName returns the subdirectory of shard k.
+func shardDirName(k int) string { return fmt.Sprintf("shard-%02d", k) }
+
+// coordDirName is the subdirectory holding coordinator checkpoints.
+const coordDirName = "coord"
+
+// ShardedSession is a durable session whose label space is partitioned
+// across N shards. Producers and readers go through Coordinator(); the
+// session object owns durability: Checkpoint and Close.
+type ShardedSession struct {
+	mu       sync.Mutex
+	fs       FS
+	dir      string
+	scheme   *core.Scheme
+	segSteps int
+	n        int
+	coord    *shard.Coordinator
+	mems     []*shard.MemShard
+	sinks    []*segmentSink
+	ckptStep int
+	recovery *RecoveryInfo
+	closed   bool
+}
+
+// CreateSharded starts a new sharded durable session in dir, which must not
+// already hold a session. The shard count is fixed for the directory's
+// lifetime and recorded in MANIFEST before the first step can be appended.
+func CreateSharded(scheme *core.Scheme, dir string, shards int, opts Options) (*ShardedSession, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("durable: nil scheme")
+	}
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("durable: %d shards out of range [1, %d]", shards, shard.MaxShards)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	if f, err := fs.Open(filepath.Join(dir, manifestName)); err == nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s already holds a session (use RecoverSharded)", dir)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, coordDirName)); err != nil {
+		return nil, err
+	}
+	for k := 0; k < shards; k++ {
+		if err := fs.MkdirAll(filepath.Join(dir, shardDirName(k))); err != nil {
+			return nil, err
+		}
+	}
+	data, err := EncodeManifest(Manifest{SegmentSteps: opts.SegmentSteps, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(fs, dir, manifestName, data); err != nil {
+		return nil, fmt.Errorf("durable: writing manifest: %w", err)
+	}
+	sinks := make([]*segmentSink, shards)
+	mems := make([]*shard.MemShard, shards)
+	ifaces := make([]shard.Shard, shards)
+	for k := range sinks {
+		sinks[k] = &segmentSink{fs: fs, dir: filepath.Join(dir, shardDirName(k)), segSteps: opts.SegmentSteps, syncEvery: opts.SyncEvery}
+		m, err := shard.NewMem(scheme, sinks[k])
+		if err != nil {
+			return nil, err
+		}
+		mems[k], ifaces[k] = m, m
+	}
+	coord, err := shard.New(scheme, ifaces, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedSession{
+		fs: fs, dir: dir, scheme: scheme, segSteps: opts.SegmentSteps, n: shards,
+		coord: coord, mems: mems, sinks: sinks,
+	}, nil
+}
+
+// Coordinator returns the sharded session's coordinator: Apply/Feed to
+// produce, Pin/Label to read. Durability rides on the per-shard journal
+// sinks.
+func (s *ShardedSession) Coordinator() *shard.Coordinator { return s.coord }
+
+// Dir returns the session directory.
+func (s *ShardedSession) Dir() string { return s.dir }
+
+// Shards returns the shard count.
+func (s *ShardedSession) Shards() int { return s.n }
+
+// Recovery reports what RecoverSharded did, or nil for a session opened by
+// CreateSharded.
+func (s *ShardedSession) Recovery() *RecoveryInfo { return s.recovery }
+
+// LastCheckpoint returns the global epoch of the latest durable checkpoint
+// (zero if none).
+func (s *ShardedSession) LastCheckpoint() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptStep
+}
+
+// Checkpoint persists the session's full state at the current global epoch:
+// drain in-flight shard dispatches, sync every active segment, write the
+// coordinator checkpoint and one checkpoint per shard atomically, then
+// commit them all with a single MANIFEST rewrite, and compact. Structural
+// producers are paused for the duration.
+func (s *ShardedSession) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: session is closed")
+	}
+	epoch := 0
+	err := s.coord.Exclusive(func(r *run.Run, paths *core.RunLabeler) error {
+		epoch = len(r.Steps)
+		for k, m := range s.mems {
+			if err := m.WaitLocal(shard.Owned(epoch, k, s.n)); err != nil {
+				return err
+			}
+		}
+		for _, sink := range s.sinks {
+			if err := sink.syncActive(); err != nil {
+				return err
+			}
+		}
+		var buf bytes.Buffer
+		if err := labelstore.SaveCoordCheckpoint(&buf, s.scheme, r, paths); err != nil {
+			return err
+		}
+		if err := writeFileAtomic(s.fs, filepath.Join(s.dir, coordDirName), checkpointName(epoch), buf.Bytes()); err != nil {
+			return err
+		}
+		for k, m := range s.mems {
+			p := m.Prefix()
+			var sb bytes.Buffer
+			if err := labelstore.SaveShardCheckpoint(&sb, s.scheme, p.Steps(), p.IDs(), p.Labels()); err != nil {
+				return err
+			}
+			if err := writeFileAtomic(s.fs, filepath.Join(s.dir, shardDirName(k)), checkpointName(epoch), sb.Bytes()); err != nil {
+				return err
+			}
+		}
+		data, err := EncodeManifest(Manifest{SegmentSteps: s.segSteps, HasCheckpoint: true, CheckpointStep: epoch, Shards: s.n})
+		if err != nil {
+			return err
+		}
+		return writeFileAtomic(s.fs, s.dir, manifestName, data)
+	})
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	s.ckptStep = epoch
+	return s.compactAll()
+}
+
+// compactAll removes artifacts the committed manifest makes unreachable, in
+// every directory of the session.
+func (s *ShardedSession) compactAll() error {
+	for k := 0; k < s.n; k++ {
+		covered := 0
+		if s.ckptStep > 0 {
+			covered = shard.Owned(s.ckptStep, k, s.n)
+		}
+		if err := compactDir(s.fs, filepath.Join(s.dir, shardDirName(k)), covered, s.ckptStep); err != nil {
+			return err
+		}
+	}
+	if err := compactDir(s.fs, filepath.Join(s.dir, coordDirName), 0, s.ckptStep); err != nil {
+		return err
+	}
+	return compactDir(s.fs, s.dir, 0, s.ckptStep)
+}
+
+// compactDir removes from one directory: segments fully covered by the local
+// step count covered (the following segment's base proves coverage; the last
+// segment always stays), checkpoints other than keepCkpt, and temp files of
+// interrupted atomic writes.
+func compactDir(fs FS, dir string, covered, keepCkpt int) error {
+	listing, err := listDir(fs, dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, base := range listing.segments {
+		if i+1 < len(listing.segments) && listing.segments[i+1] <= covered {
+			if err := fs.Remove(filepath.Join(dir, segmentName(base))); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	for _, step := range listing.checkpoints {
+		if step != keepCkpt || keepCkpt == 0 {
+			if err := fs.Remove(filepath.Join(dir, checkpointName(step))); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	for _, name := range listing.temps {
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if removed {
+		return fs.SyncDir(dir)
+	}
+	return nil
+}
+
+// Close drains in-flight dispatches, then syncs and closes every active
+// segment. The directory stays fully recoverable; Close never checkpoints.
+// Closing twice is a no-op.
+func (s *ShardedSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.coord.Exclusive(func(r *run.Run, _ *core.RunLabeler) error {
+		for k, m := range s.mems {
+			if err := m.WaitLocal(shard.Owned(len(r.Steps), k, s.n)); err != nil {
+				return err
+			}
+		}
+		return s.closeSinks()
+	})
+	if err != nil && !s.sinksClosed() {
+		// The coordinator (or a shard) was poisoned, so Exclusive refused; no
+		// producer can reach the sinks anymore, close the files directly.
+		err = s.closeSinks()
+	}
+	return err
+}
+
+func (s *ShardedSession) closeSinks() error {
+	var first error
+	for _, sink := range s.sinks {
+		if err := sink.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (s *ShardedSession) sinksClosed() bool {
+	for _, sink := range s.sinks {
+		if !sink.closed {
+			return false
+		}
+	}
+	return true
+}
+
+// tailSegment is one journal segment read past a shard's checkpoint, with
+// the stream offset after every decoded record — the candidate truncation
+// points when the shard got ahead of the recovered prefix.
+type tailSegment struct {
+	base    int
+	recEnds []int64
+}
+
+// RecoverSharded reopens a sharded session directory: it loads the
+// checkpoint set MANIFEST names, reads every shard's journal tail, truncates
+// shards that outran the globally consistent prefix, and replays the tail
+// through the coordinator in global order. Structural failures are
+// classified by the same faults sentinels as Recover.
+func RecoverSharded(scheme *core.Scheme, dir string, opts Options) (*ShardedSession, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("durable: nil scheme")
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	fs := opts.FS
+
+	m, err := ReadManifest(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.Shards == 0 {
+		return nil, fmt.Errorf("durable: %s holds a classic session (use Recover)", dir)
+	}
+	n := m.Shards
+	segSteps := m.SegmentSteps
+	info := &RecoveryInfo{CheckpointStep: m.CheckpointStep}
+
+	// Load the committed checkpoint set: the coordinator's structural state
+	// and each shard's labels, all at the same global epoch.
+	ckptStep := 0
+	var r *run.Run
+	var paths *core.RunLabeler
+	shardCkpts := make([]*labelstore.ShardCheckpointState, n)
+	if m.HasCheckpoint {
+		ckptStep = m.CheckpointStep
+		data, err := readFile(fs, filepath.Join(dir, coordDirName, checkpointName(ckptStep)))
+		if err != nil {
+			return nil, fmt.Errorf("durable: manifest names checkpoint %d but the coordinator's cannot be read: %w (%w)",
+				ckptStep, err, faults.ErrCorruptCheckpoint)
+		}
+		st, err := labelstore.LoadCoordCheckpointBytes(data, scheme)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Steps) != ckptStep {
+			return nil, fmt.Errorf("durable: coordinator checkpoint %d covers %d steps: %w",
+				ckptStep, len(st.Steps), faults.ErrCorruptCheckpoint)
+		}
+		r, paths = st.Run, st.Paths
+		for k := 0; k < n; k++ {
+			data, err := readFile(fs, filepath.Join(dir, shardDirName(k), checkpointName(ckptStep)))
+			if err != nil {
+				return nil, fmt.Errorf("durable: manifest names checkpoint %d but shard %d's cannot be read: %w (%w)",
+					ckptStep, k, err, faults.ErrCorruptCheckpoint)
+			}
+			sck, err := labelstore.LoadShardCheckpointBytes(data, scheme)
+			if err != nil {
+				return nil, err
+			}
+			if want := shard.Owned(ckptStep, k, n); sck.LocalSteps != want {
+				return nil, fmt.Errorf("durable: shard %d checkpoint covers %d local steps, want %d at epoch %d: %w",
+					k, sck.LocalSteps, want, ckptStep, faults.ErrCorruptCheckpoint)
+			}
+			shardCkpts[k] = sck
+		}
+		// The checkpoint set must agree on ownership: shard K's persisted IDs
+		// are exactly the items of the steps K owns in the coordinator's run.
+		wantIDs := make([][]int, n)
+		for _, item := range r.Items {
+			owner := 0
+			if item.Step > 0 {
+				owner = (item.Step - 1) % n
+			}
+			wantIDs[owner] = append(wantIDs[owner], item.ID)
+		}
+		for k := 0; k < n; k++ {
+			got := shardCkpts[k].IDs
+			if len(got) != len(wantIDs[k]) {
+				return nil, fmt.Errorf("durable: shard %d checkpoint holds %d items, the coordinator's run assigns it %d: %w",
+					k, len(got), len(wantIDs[k]), faults.ErrCorruptCheckpoint)
+			}
+			for i, id := range got {
+				if id != wantIDs[k][i] {
+					return nil, fmt.Errorf("durable: shard %d checkpoint item %d is ID %d, the coordinator's run assigns ID %d: %w",
+						k, i, id, wantIDs[k][i], faults.ErrCorruptCheckpoint)
+				}
+			}
+		}
+	}
+
+	// Read every shard's journal tail past its checkpoint, keeping per-record
+	// offsets so an over-long shard can be truncated to exactly the prefix.
+	tails := make([][]live.StepRequest, n)
+	segRead := make([][]tailSegment, n)
+	localSteps := make([]int, n)
+	for k := 0; k < n; k++ {
+		sdir := filepath.Join(dir, shardDirName(k))
+		localCkpt := 0
+		if m.HasCheckpoint {
+			localCkpt = shard.Owned(ckptStep, k, n)
+		}
+		listing, err := listDir(fs, sdir)
+		if err != nil {
+			return nil, err
+		}
+		expected := localCkpt
+		lastIdx := len(listing.segments) - 1
+		for i, base := range listing.segments {
+			if i < lastIdx && listing.segments[i+1] <= localCkpt {
+				continue
+			}
+			name := segmentName(base)
+			path := filepath.Join(sdir, name)
+			isLast := i == lastIdx
+			f, err := fs.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			jr, err := live.NewJournalReader(f)
+			if err != nil {
+				f.Close()
+				if errors.Is(err, faults.ErrTornJournal) && isLast && !opts.Strict {
+					if err := fs.Remove(path); err != nil {
+						return nil, err
+					}
+					if err := fs.SyncDir(sdir); err != nil {
+						return nil, err
+					}
+					info.TornTruncated = true
+					break
+				}
+				return nil, fmt.Errorf("durable: shard %d segment %s: %w", k, name, err)
+			}
+			if base > expected {
+				f.Close()
+				return nil, fmt.Errorf("durable: shard %d journal gap: local steps %d..%d are on no segment: %w",
+					k, expected+1, base, faults.ErrCorruptJournal)
+			}
+			seg := tailSegment{base: base}
+			for {
+				req, err := jr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					if errors.Is(err, faults.ErrTornJournal) && isLast && !opts.Strict {
+						f.Close()
+						if terr := fs.Truncate(path, jr.Offset()); terr != nil {
+							return nil, terr
+						}
+						info.TornTruncated = true
+						f = nil
+						break
+					}
+					f.Close()
+					return nil, fmt.Errorf("durable: shard %d segment %s: %w", k, name, err)
+				}
+				seg.recEnds = append(seg.recEnds, jr.Offset())
+				stepNo := base + jr.Steps()
+				if stepNo <= expected {
+					continue
+				}
+				tails[k] = append(tails[k], req)
+				expected = stepNo
+			}
+			if f != nil {
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+			}
+			if jr.Steps() > segSteps {
+				return nil, fmt.Errorf("durable: shard %d segment %s holds %d steps, capacity is %d: %w",
+					k, name, jr.Steps(), segSteps, faults.ErrCorruptJournal)
+			}
+			segRead[k] = append(segRead[k], seg)
+		}
+		localSteps[k] = expected
+	}
+
+	// The recovered prefix: every global step 1..E has its request on its
+	// owner's disk. Shards past their share of E outran the crash — their
+	// extra steps reference structural state that no longer exists — so their
+	// journals are cut back to exactly the prefix.
+	epoch := 0
+	for k := 0; k < n; k++ {
+		if cand := k + localSteps[k]*n; k == 0 || cand < epoch {
+			epoch = cand
+		}
+	}
+	for k := 0; k < n; k++ {
+		keep := shard.Owned(epoch, k, n)
+		if localSteps[k] <= keep {
+			continue
+		}
+		sdir := filepath.Join(dir, shardDirName(k))
+		removed := false
+		for _, seg := range segRead[k] {
+			if seg.base >= keep {
+				if err := fs.Remove(filepath.Join(sdir, segmentName(seg.base))); err != nil {
+					return nil, err
+				}
+				removed = true
+			} else if seg.base+len(seg.recEnds) > keep {
+				if err := fs.Truncate(filepath.Join(sdir, segmentName(seg.base)), seg.recEnds[keep-seg.base-1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if removed {
+			if err := fs.SyncDir(sdir); err != nil {
+				return nil, err
+			}
+		}
+		localCkpt := 0
+		if m.HasCheckpoint {
+			localCkpt = shard.Owned(ckptStep, k, n)
+		}
+		tails[k] = tails[k][:keep-localCkpt]
+		localSteps[k] = keep
+	}
+	info.ReplayedSteps = epoch - ckptStep
+
+	// Rebuild the shards and the coordinator, then replay the tail through
+	// the production Apply path with every sink suppressed.
+	sinks := make([]*segmentSink, n)
+	mems := make([]*shard.MemShard, n)
+	ifaces := make([]shard.Shard, n)
+	for k := 0; k < n; k++ {
+		sinks[k] = &segmentSink{fs: fs, dir: filepath.Join(dir, shardDirName(k)), segSteps: segSteps, syncEvery: opts.SyncEvery, replaying: true}
+		var mk *shard.MemShard
+		var err error
+		if m.HasCheckpoint {
+			mk, err = shard.RestoreMem(scheme, shardCkpts[k].LocalSteps, shardCkpts[k].IDs, shardCkpts[k].Labels, sinks[k])
+		} else {
+			mk, err = shard.NewMem(scheme, sinks[k])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("durable: restoring shard %d: %w", k, err)
+		}
+		mems[k], ifaces[k] = mk, mk
+	}
+	var coord *shard.Coordinator
+	if m.HasCheckpoint {
+		coord, err = shard.Restore(scheme, ifaces, r, paths, nil)
+	} else {
+		coord, err = shard.New(scheme, ifaces, nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: restoring coordinator state: %w", err)
+	}
+	cursors := make([]int, n)
+	for g := ckptStep + 1; g <= epoch; g++ {
+		owner := (g - 1) % n
+		req := tails[owner][cursors[owner]]
+		cursors[owner]++
+		if _, err := coord.Apply(req.Instance, req.Prod); err != nil {
+			return nil, fmt.Errorf("durable: replaying journal step %d: %w (%w)", g, err, faults.ErrInvalidStep)
+		}
+	}
+
+	// Reopen each shard's tail segment for appending when it is exactly the
+	// shard's frontier and has room; otherwise the next append rotates.
+	for k := 0; k < n; k++ {
+		sinks[k].step = localSteps[k]
+		if b, count, ok := lastKeptSegment(segRead[k], localSteps[k]); ok && count < segSteps {
+			f, err := fs.Append(filepath.Join(dir, shardDirName(k), segmentName(b)))
+			if err != nil {
+				return nil, err
+			}
+			jw, err := live.ResumeJournalWriter(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			sinks[k].file, sinks[k].jw = f, jw
+			sinks[k].activeBase, sinks[k].activeCount = b, count
+		}
+		sinks[k].replaying = false
+	}
+
+	s := &ShardedSession{
+		fs: fs, dir: dir, scheme: scheme, segSteps: segSteps, n: n,
+		coord: coord, mems: mems, sinks: sinks, ckptStep: ckptStep, recovery: info,
+	}
+	if err := s.compactAll(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// lastKeptSegment finds the shard's final on-disk segment after truncation —
+// the one whose records end exactly at the shard's recovered local step
+// count — and its surviving record count. ok is false when no read segment
+// survived (everything was removed, or covered segments were skipped and the
+// next append must rotate anyway, which is always safe).
+func lastKeptSegment(segs []tailSegment, localSteps int) (base, count int, ok bool) {
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		if seg.base >= localSteps {
+			continue // removed by truncation (or empty past the prefix)
+		}
+		count = len(seg.recEnds)
+		if seg.base+count > localSteps {
+			count = localSteps - seg.base
+		}
+		if seg.base+count == localSteps {
+			return seg.base, count, true
+		}
+		return 0, 0, false
+	}
+	return 0, 0, false
+}
+
+// ReadManifest reads and decodes dir's MANIFEST: the dispatch point between
+// Recover (Shards == 0) and RecoverSharded. A nil fsys uses the real
+// filesystem.
+func ReadManifest(fsys FS, dir string) (Manifest, error) {
+	if fsys == nil {
+		fsys = DirFS{}
+	}
+	data, err := readFile(fsys, filepath.Join(dir, manifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("durable: %s does not hold a recoverable session: %w", dir, err)
+	}
+	return DecodeManifest(data)
+}

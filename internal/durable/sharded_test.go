@@ -1,0 +1,486 @@
+package durable_test
+
+import (
+	"bytes"
+	"errors"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faults"
+	"repro/internal/iofault"
+	"repro/internal/live"
+	"repro/internal/run"
+	"repro/internal/shard"
+)
+
+// applyShardedRange drives steps[from:to] into the sharded session.
+func applyShardedRange(t *testing.T, s *durable.ShardedSession, steps []live.StepRequest, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if _, err := s.Coordinator().Apply(steps[i].Instance, steps[i].Prod); err != nil {
+			t.Fatalf("applying step %d: %v", i+1, err)
+		}
+	}
+}
+
+// checkShardedLabels asserts the sharded session's pinned labels are
+// byte-identical to batch labeling of the run truncated to the pinned epoch.
+func checkShardedLabels(t *testing.T, scheme *core.Scheme, s *durable.ShardedSession, steps []live.StepRequest) {
+	t.Helper()
+	pin := s.Coordinator().Pin()
+	k := int(pin.Epoch())
+	r := run.New(scheme.Spec)
+	for i := 0; i < k; i++ {
+		if _, err := r.Apply(steps[i].Instance, steps[i].Prod); err != nil {
+			t.Fatalf("rebuilding prefix step %d: %v", i+1, err)
+		}
+	}
+	want, err := scheme.LabelRun(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pin.Items() != len(r.Items) {
+		t.Fatalf("epoch %d: pin resolves %d items, batch run has %d", k, pin.Items(), len(r.Items))
+	}
+	codec := scheme.Codec()
+	for id := 1; id <= len(r.Items); id++ {
+		gotL, ok := pin.Label(id)
+		if !ok {
+			t.Fatalf("epoch %d: item %d unlabeled in sharded session", k, id)
+		}
+		wantL, ok := want.Label(id)
+		if !ok {
+			t.Fatalf("epoch %d: item %d unlabeled by LabelRun", k, id)
+		}
+		gb, gn := codec.Encode(gotL)
+		wb, wn := codec.Encode(wantL)
+		if gn != wn || !bytes.Equal(gb, wb) {
+			t.Fatalf("epoch %d: item %d label diverges from batch labeling", k, id)
+		}
+	}
+}
+
+// checkShardedSteps asserts the coordinator's run carries exactly the script
+// prefix up to its epoch.
+func checkShardedSteps(t *testing.T, s *durable.ShardedSession, steps []live.StepRequest) {
+	t.Helper()
+	err := s.Coordinator().Exclusive(func(r *run.Run, _ *core.RunLabeler) error {
+		for i, st := range r.Steps {
+			if st.Instance != steps[i].Instance || st.Prod != steps[i].Prod {
+				t.Fatalf("recovered step %d is (%d,%d), want (%d,%d)",
+					i+1, st.Instance, st.Prod, steps[i].Instance, steps[i].Prod)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCreateCheckpointRecover(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 60, 21)
+	dir := filepath.Join(t.TempDir(), "sess")
+	opts := durable.Options{SegmentSteps: 4}
+	const n = 3
+
+	s, err := durable.CreateSharded(scheme, dir, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := len(steps) / 3
+	applyShardedRange(t, s, steps, 0, third)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastCheckpoint() != third {
+		t.Fatalf("LastCheckpoint %d, want %d", s.LastCheckpoint(), third)
+	}
+	applyShardedRange(t, s, steps, third, 2*third)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != n {
+		t.Fatalf("recovered %d shards, want %d", r.Shards(), n)
+	}
+	info := r.Recovery()
+	if info == nil || info.CheckpointStep != third {
+		t.Fatalf("recovery info %+v, want checkpoint at %d", info, third)
+	}
+	if info.ReplayedSteps != third {
+		t.Fatalf("replayed %d steps, want %d (tail only)", info.ReplayedSteps, third)
+	}
+	if got := int(r.Coordinator().Epoch()); got != 2*third {
+		t.Fatalf("recovered at epoch %d, want %d", got, 2*third)
+	}
+	checkShardedSteps(t, r, steps)
+	checkShardedLabels(t, scheme, r, steps)
+
+	// The recovered session keeps going: finish the run, close, recover
+	// again with no checkpoint advance — the whole tail replays.
+	applyShardedRange(t, r, steps, 2*third, len(steps))
+	checkShardedLabels(t, scheme, r, steps)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(r2.Coordinator().Epoch()); got != len(steps) {
+		t.Fatalf("second recovery at epoch %d, want %d", got, len(steps))
+	}
+	if r2.Recovery().ReplayedSteps != len(steps)-third {
+		t.Fatalf("second recovery replayed %d, want %d", r2.Recovery().ReplayedSteps, len(steps)-third)
+	}
+	checkShardedLabels(t, scheme, r2, steps)
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedCheckpointCompactsSegments(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 60, 22)
+	dir := filepath.Join(t.TempDir(), "sess")
+	opts := durable.Options{SegmentSteps: 2}
+	const n = 2
+	s, err := durable.CreateSharded(scheme, dir, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyShardedRange(t, s, steps, 0, len(steps))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		sdir := filepath.Join(dir, "shard-0"+string(rune('0'+k)))
+		entries, err := os.ReadDir(sdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs, ckpts := 0, 0
+		for _, e := range entries {
+			switch filepath.Ext(e.Name()) {
+			case ".fvlj":
+				segs++
+			case ".fvlc":
+				ckpts++
+			}
+		}
+		if segs != 1 {
+			t.Fatalf("shard %d: %d segments survive a full checkpoint, want only the tail", k, segs)
+		}
+		if ckpts != 1 {
+			t.Fatalf("shard %d: %d checkpoints on disk, want 1", k, ckpts)
+		}
+	}
+	r, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recovery().ReplayedSteps != 0 {
+		t.Fatalf("replayed %d steps after full checkpoint", r.Recovery().ReplayedSteps)
+	}
+	checkShardedLabels(t, scheme, r, steps)
+	r.Close()
+}
+
+// TestShardedRecoverTruncatesAheadShards loses one shard's tail segment: the
+// surviving shards hold steps whose predecessors are gone, so recovery must
+// cut every shard back to the longest globally consistent prefix — physically,
+// on disk — and the session must keep appending from there.
+func TestShardedRecoverTruncatesAheadShards(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 30, 23)[:12]
+	if len(steps) != 12 {
+		t.Fatalf("script too short: %d steps", len(steps))
+	}
+	dir := filepath.Join(t.TempDir(), "sess")
+	opts := durable.Options{SegmentSteps: 2}
+	s, err := durable.CreateSharded(scheme, dir, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyShardedRange(t, s, steps, 0, 12)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 2 owns global steps 3, 6, 9, 12 — local steps 1..4 on two
+	// segments. Losing its second segment caps the consistent prefix at
+	// E = 2 + 2*3 = 8: shards 0 and 1 each recorded 4 local steps but only
+	// their first 3 survive the cut.
+	if err := os.Remove(filepath.Join(dir, "shard-02", "seg-0000000002.fvlj")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(r.Coordinator().Epoch()); got != 8 {
+		t.Fatalf("recovered at epoch %d, want 8", got)
+	}
+	if r.Recovery().ReplayedSteps != 8 {
+		t.Fatalf("replayed %d steps, want 8", r.Recovery().ReplayedSteps)
+	}
+	checkShardedSteps(t, r, steps)
+	checkShardedLabels(t, scheme, r, steps)
+
+	// Re-derive the lost suffix and make sure the truncated journals accept
+	// the appends: a second recovery sees the full run again.
+	applyShardedRange(t, r, steps, 8, 12)
+	checkShardedLabels(t, scheme, r, steps)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(r2.Coordinator().Epoch()); got != 12 {
+		t.Fatalf("epoch %d after re-deriving the suffix, want 12", got)
+	}
+	checkShardedLabels(t, scheme, r2, steps)
+	r2.Close()
+}
+
+// TestShardedRecoverTornShardTail tears one shard's journal mid-record: the
+// torn record and every step on other shards that depends on it must fall
+// away together.
+func TestShardedRecoverTornShardTail(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 30, 24)[:9]
+	if len(steps) != 9 {
+		t.Fatalf("script too short: %d steps", len(steps))
+	}
+	dir := filepath.Join(t.TempDir(), "sess")
+	opts := durable.Options{SegmentSteps: 8}
+	s, err := durable.CreateSharded(scheme, dir, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyShardedRange(t, s, steps, 0, 9)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the last byte off shard 1's only segment: its third record (global
+	// step 8) is torn. The prefix drops to E = 1 + 2*3 = 7, so shard 2 loses
+	// its complete step 9 too.
+	seg := filepath.Join(dir, "shard-01", "seg-0000000000.fvlj")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := durable.RecoverSharded(scheme, dir, durable.Options{Strict: true}); !errors.Is(err, faults.ErrTornJournal) {
+		t.Fatalf("strict recovery of torn shard tail: want ErrTornJournal, got %v", err)
+	}
+
+	r, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatalf("default recovery of torn shard tail: %v", err)
+	}
+	if !r.Recovery().TornTruncated {
+		t.Fatal("TornTruncated not reported")
+	}
+	if got := int(r.Coordinator().Epoch()); got != 7 {
+		t.Fatalf("recovered at epoch %d, want 7", got)
+	}
+	checkShardedLabels(t, scheme, r, steps)
+	applyShardedRange(t, r, steps, 7, 9)
+	checkShardedLabels(t, scheme, r, steps)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := durable.RecoverSharded(scheme, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Recovery().TornTruncated {
+		t.Fatal("second recovery still sees a torn tail")
+	}
+	if got := int(r2.Coordinator().Epoch()); got != 9 {
+		t.Fatalf("epoch %d, want 9", got)
+	}
+	checkShardedLabels(t, scheme, r2, steps)
+	r2.Close()
+}
+
+// TestShardedDispatch covers the manifest-level routing between the classic
+// and sharded layouts.
+func TestShardedDispatch(t *testing.T) {
+	scheme := testScheme(t)
+	base := t.TempDir()
+
+	classic := filepath.Join(base, "classic")
+	s1, err := durable.Create(scheme, classic, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	sharded := filepath.Join(base, "sharded")
+	s2, err := durable.CreateSharded(scheme, sharded, 2, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	if _, err := durable.Recover(scheme, sharded, durable.Options{}); err == nil || !strings.Contains(err.Error(), "RecoverSharded") {
+		t.Fatalf("Recover on a sharded directory: %v, want a RecoverSharded hint", err)
+	}
+	if _, err := durable.RecoverSharded(scheme, classic, durable.Options{}); err == nil || !strings.Contains(err.Error(), "use Recover") {
+		t.Fatalf("RecoverSharded on a classic directory: %v, want a Recover hint", err)
+	}
+	m, err := durable.ReadManifest(nil, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 2 {
+		t.Fatalf("ReadManifest reports %d shards, want 2", m.Shards)
+	}
+	if m, err := durable.ReadManifest(nil, classic); err != nil || m.Shards != 0 {
+		t.Fatalf("ReadManifest on classic: %+v, %v", m, err)
+	}
+
+	if _, err := durable.CreateSharded(scheme, sharded, 2, durable.Options{}); err == nil {
+		t.Fatal("CreateSharded over an existing session succeeded")
+	}
+	if _, err := durable.CreateSharded(scheme, filepath.Join(base, "zero"), 0, durable.Options{}); err == nil {
+		t.Fatal("CreateSharded with 0 shards succeeded")
+	}
+	if _, err := durable.CreateSharded(scheme, filepath.Join(base, "huge"), shard.MaxShards+1, durable.Options{}); err == nil {
+		t.Fatal("CreateSharded past MaxShards succeeded")
+	}
+}
+
+// runShardedScenario drives the scripted sharded session on fs until the
+// first failure, mirroring runScenario for the N-shard layout.
+func runShardedScenario(fs *iofault.FS, scheme *core.Scheme, steps []live.StepRequest, shards, syncEvery int) (applied, lastCkpt int) {
+	s, err := durable.CreateSharded(scheme, crashDir, shards, durable.Options{
+		SegmentSteps: crashSegSteps, SyncEvery: syncEvery, FS: fs,
+	})
+	if err != nil {
+		return
+	}
+	for i, req := range steps {
+		if _, err := s.Coordinator().Apply(req.Instance, req.Prod); err != nil {
+			return
+		}
+		applied++
+		if (i+1)%crashCkptEvery == 0 {
+			if err := s.Checkpoint(); err != nil {
+				return
+			}
+			lastCkpt = applied
+		}
+	}
+	s.Close()
+	return
+}
+
+// TestShardedCrashMatrix extends the crash matrix to the sharded layout: one
+// scripted 2-shard session, a crash armed at every mutating operation, times
+// the torn-tail modes and sync policies. Every crash must recover to a
+// consistent global prefix whose labels are byte-identical to batch labeling.
+func TestShardedCrashMatrix(t *testing.T) {
+	scheme := testScheme(t)
+	steps := script(t, scheme, 60, 25)[:20]
+	const shards = 2
+	modes := []struct {
+		name string
+		mode iofault.Mode
+	}{
+		{"KeepNone", iofault.KeepNone},
+		{"KeepHalf", iofault.KeepHalf},
+		{"KeepAllButOne", iofault.KeepAllButOne},
+	}
+	for _, syncEvery := range []int{1, durable.SyncOnCheckpoint} {
+		dry := iofault.New(iofault.KeepNone)
+		applied, _ := runShardedScenario(dry, scheme, steps, shards, syncEvery)
+		if dry.Crashed() || applied != len(steps) {
+			t.Fatalf("sync %d: dry run crashed or fell short (%d/%d steps)", syncEvery, applied, len(steps))
+		}
+		total := dry.Ops()
+		for _, m := range modes {
+			for p := 1; p <= total; p++ {
+				shardedCrashPoint(t, scheme, steps, shards, syncEvery, m.mode, m.name, p)
+			}
+		}
+	}
+}
+
+// shardedCrashPoint runs the sharded scenario with a crash armed at mutating
+// operation p, reboots, and checks every recovery invariant.
+func shardedCrashPoint(t *testing.T, scheme *core.Scheme, steps []live.StepRequest, shards, syncEvery int, mode iofault.Mode, modeName string, p int) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("sync %d, %s, crash at op %d: "+format,
+			append([]any{syncEvery, modeName, p}, args...)...)
+	}
+
+	fs := iofault.New(mode)
+	fs.CrashAfter(p)
+	applied, lastCkpt := runShardedScenario(fs, scheme, steps, shards, syncEvery)
+	if !fs.Crashed() {
+		fail("crash never fired (only %d ops)", fs.Ops())
+	}
+	fs.Reboot()
+
+	s, err := durable.RecoverSharded(scheme, crashDir, durable.Options{SyncEvery: syncEvery, FS: fs})
+	if err != nil {
+		// The only legal failure: the crash predates the manifest commit in
+		// CreateSharded, so no session ever durably existed — and then no
+		// step can have been applied either.
+		if errors.Is(err, iofs.ErrNotExist) && applied == 0 {
+			return
+		}
+		fail("recovery failed (applied %d): %v", applied, err)
+	}
+	info := s.Recovery()
+	epoch := int(s.Coordinator().Epoch())
+
+	if lastCkpt > info.CheckpointStep {
+		fail("recovered checkpoint %d older than acked checkpoint %d", info.CheckpointStep, lastCkpt)
+	}
+	if info.CheckpointStep > epoch || epoch > applied {
+		fail("epoch %d outside [checkpoint %d, applied %d]", epoch, info.CheckpointStep, applied)
+	}
+	if syncEvery == 1 && mode == iofault.KeepNone && epoch != applied {
+		fail("lost acked steps: epoch %d, applied %d", epoch, applied)
+	}
+	if info.ReplayedSteps != epoch-info.CheckpointStep {
+		fail("replayed %d steps for a tail of %d", info.ReplayedSteps, epoch-info.CheckpointStep)
+	}
+
+	// The recovered steps are exactly the script prefix, and every shard's
+	// labels are byte-identical to batch labeling of that prefix.
+	checkShardedSteps(t, s, steps)
+	checkShardedLabels(t, scheme, s, steps)
+
+	// The session is live again: finish the run and re-verify.
+	applyShardedRange(t, s, steps, epoch, len(steps))
+	checkShardedLabels(t, scheme, s, steps)
+	if err := s.Close(); err != nil {
+		fail("closing recovered session: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+// Scatter-gather set queries over a partitioned (sharded) item universe:
+// the same claim-block fan-out as SetQueryBatchContext, except each worker
+// holds one query session per partition — plan caches are keyed per
+// ItemIndex, and every leaf of every plan scans all partitions (see
+// query.ExecuteOver). A single-partition universe short-circuits to the
+// classic path, keeping the proven byte-identical pipeline for N=1.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/query"
+)
+
+// SetQueryBatchOverContext compiles every expression against the catalog and
+// executes the plans over the worker pool against a partitioned universe.
+// Cancellation and per-expression error semantics match
+// SetQueryBatchContext: claim-block granularity, partial results with an
+// error wrapping faults.ErrCanceled.
+func (e *Engine) SetQueryBatchOverContext(ctx context.Context, cat query.Catalog, primaryView string, u query.Universe, exprs []*query.Expr) ([]SetResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: set-query batch not started: %w (%v)", faults.ErrCanceled, err)
+	}
+	results := make([]SetResult, len(exprs))
+	if cat == nil || u == nil {
+		err := fmt.Errorf("engine: nil %s", map[bool]string{true: "catalog", false: "universe"}[cat == nil])
+		for i := range results {
+			results[i].Err = err
+		}
+		return results, err
+	}
+	parts := u.Parts()
+	if len(parts) == 1 {
+		return e.SetQueryBatchContext(ctx, cat, primaryView, parts[0], exprs)
+	}
+	if len(parts) == 0 {
+		err := fmt.Errorf("engine: universe has no partitions: %w", faults.ErrInvalidQuery)
+		for i := range results {
+			results[i].Err = err
+		}
+		return results, err
+	}
+	runnable := 0
+	for i, ex := range exprs {
+		plan, err := query.Compile(cat, primaryView, ex)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		results[i].Plan = plan
+		runnable++
+	}
+	if runnable == 0 {
+		return results, nil
+	}
+	if e.fanOutOver(ctx, parts, len(exprs), func(ss []*core.QuerySession, i int) {
+		if results[i].Plan == nil {
+			return
+		}
+		results[i].Value, results[i].Err = executeOneOver(results[i].Plan, ss, u)
+	}) {
+		return results, fmt.Errorf("engine: set-query batch canceled with claim blocks undrained: %w (%v)", faults.ErrCanceled, context.Cause(ctx))
+	}
+	return results, nil
+}
+
+// executeOneOver runs one plan against the partitioned universe with the
+// same panic containment as executeOne.
+func executeOneOver(p *query.Plan, ss []*core.QuerySession, u query.Universe) (v *query.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, fmt.Errorf("engine: set query panicked: %v", r)
+		}
+	}()
+	return p.ExecuteOver(ss, u)
+}
+
+// fanOutOver mirrors fanOut with one query session per partition per worker.
+func (e *Engine) fanOutOver(ctx context.Context, parts []*core.ItemIndex, n int, answer func(ss []*core.QuerySession, i int)) bool {
+	workers := EffectiveWorkers(e.workers)
+	if workers > n {
+		workers = n
+	}
+	var canceled atomic.Bool
+	if workers <= 1 {
+		e.serveClaimsOver(ctx, parts, n, new(atomic.Int64), batchGrain(n, 1), &canceled, answer)
+	} else {
+		grain := batchGrain(n, workers)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				e.serveClaimsOver(ctx, parts, n, &cursor, grain, &canceled, answer)
+			}()
+		}
+		wg.Wait()
+	}
+	return canceled.Load()
+}
+
+// serveClaimsOver drains grain-sized claim blocks with a session (and a
+// shared plan cache) per partition; claim-then-check ordering matches
+// serveClaims, so a cancellation racing completion never flags a fully
+// drained batch.
+func (e *Engine) serveClaimsOver(ctx context.Context, parts []*core.ItemIndex, n int, cursor *atomic.Int64, grain int, canceled *atomic.Bool, answer func(ss []*core.QuerySession, i int)) {
+	if grain < 1 {
+		return
+	}
+	ss := make([]*core.QuerySession, len(parts))
+	for k, idx := range parts {
+		s := core.NewQuerySession()
+		s.AttachPlan(e.share.Acquire(idx))
+		ss[k] = s
+	}
+	defer func() {
+		for _, s := range ss {
+			e.share.Release(s.DetachPlan())
+			s.Close()
+		}
+	}()
+	for {
+		lo := int(cursor.Add(int64(grain))) - grain
+		if lo >= n {
+			return
+		}
+		if ctx.Err() != nil {
+			canceled.Store(true)
+			return
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			answer(ss, i)
+		}
+	}
+}
+
+// SetQueryBatchOverContext answers set-query expressions against the served
+// labels over a partitioned universe; see the Engine method. The primary
+// view must be served (one clear faults.ErrUnknownView upfront, matching
+// SetQueryBatchContext).
+func (s *Server) SetQueryBatchOverContext(ctx context.Context, primaryView string, u query.Universe, exprs []*query.Expr) ([]SetResult, error) {
+	if _, ok := s.labels[primaryView]; !ok {
+		return nil, fmt.Errorf("engine: no label for view %q (serving %v): %w", primaryView, s.Views(), faults.ErrUnknownView)
+	}
+	return s.engine.SetQueryBatchOverContext(ctx, s, primaryView, u, exprs)
+}

@@ -1,0 +1,507 @@
+package labelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/run"
+	"repro/internal/workflow"
+)
+
+// Sharded sessions split one checkpoint into 1+N artifacts: the coordinator
+// checkpoint carries the structural half (the run's derivation prefix and the
+// frontier paths of the paths-only tracker, no labels), and each shard
+// checkpoint carries that shard's labels — the (item ID, label) pairs of the
+// interleaved ID slice it owns, plus its local step count. The framing is the
+// session checkpoint's (magic + CRC-32 + length + payload); each artifact has
+// its own magic.
+//
+// The coordinator payload is the session checkpoint's without the per-item
+// labels:
+//
+//	byte    scheme kind (0 = compact, 1 = basic)
+//	bytes   the specification as the workflow package's JSON document
+//	uvarint step count, then per step: uvarint instance, uvarint production
+//	uvarint instance count, then per instance: (as the session checkpoint)
+//	uvarint port count, then per port: uvarint owner, byte kind, uvarint index
+//	uvarint item count, then per item: uvarint src+1, uvarint dst+1,
+//	  uvarint creation step, uvarint createdBy+1
+//	uvarint frontier count, then per frontier instance: uvarint instance,
+//	  uvarint path bit count, bytes path (Codec.EncodePath image)
+//
+// and the shard payload is:
+//
+//	byte    scheme kind (0 = compact, 1 = basic)
+//	bytes   the specification as the workflow package's JSON document
+//	uvarint local step count
+//	uvarint item count, then per item: uvarint item ID (strictly increasing),
+//	  uvarint label bit count, bytes label (Codec.Encode image)
+//
+// Error semantics mirror LoadCheckpointBytes: structural failures wrap
+// faults.ErrCorruptCheckpoint, a checkpoint of a different specification (or
+// scheme kind) wraps faults.ErrForeignLabel.
+
+// coordCheckpointMagic identifies a sharded coordinator checkpoint; the final
+// byte is the format version.
+var coordCheckpointMagic = [8]byte{'F', 'V', 'L', 'C', 'O', 'R', 'D', 0x01}
+
+// shardCheckpointMagic identifies a single shard's label checkpoint.
+var shardCheckpointMagic = [8]byte{'F', 'V', 'L', 'S', 'C', 'K', 'P', 0x01}
+
+// CoordCheckpointState is the restored structural half of a sharded session:
+// a validated run, the paths-only tracker covering its frontier, and the
+// (instance, production) pair of every derivation step, in order.
+type CoordCheckpointState struct {
+	Run   *run.Run
+	Paths *core.RunLabeler
+	Steps [][2]int
+}
+
+// ShardCheckpointState is one restored shard: the local step count and the
+// ascending (item ID, label) pairs the shard owns — exactly the arguments of
+// core.Scheme.RestoreSparseRunLabeler and shard.RestoreMem.
+type ShardCheckpointState struct {
+	LocalSteps int
+	IDs        []int
+	Labels     []*core.DataLabel
+}
+
+// SaveCoordCheckpoint persists the structural state of a sharded session's
+// coordinator: the run and the frontier paths of its paths-only tracker. The
+// pair must be consistent — every frontier instance placed — which is what
+// the coordinator guarantees inside Exclusive.
+func SaveCoordCheckpoint(w io.Writer, scheme *core.Scheme, r *run.Run, paths *core.RunLabeler) error {
+	if scheme == nil || r == nil || paths == nil {
+		return fmt.Errorf("labelstore: coordinator checkpoint needs a scheme, a run and a paths tracker")
+	}
+	if r.Spec != scheme.Spec {
+		return fmt.Errorf("labelstore: checkpointed run: %w", faults.ErrForeignLabel)
+	}
+	payload, err := encodeCoordCheckpoint(scheme, r, paths)
+	if err != nil {
+		return err
+	}
+	return writeFramed(w, coordCheckpointMagic, payload)
+}
+
+// writeFramed writes one magic + CRC-32 + length framed artifact.
+func writeFramed(w io.Writer, magic [8]byte, payload []byte) error {
+	header := make([]byte, headerSize)
+	copy(header, magic[:])
+	binary.LittleEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// openFramed validates one framed artifact and returns its payload.
+func openFramed(data []byte, magic [8]byte, what string) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("labelstore: %d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, fmt.Errorf("labelstore: bad magic %q (not a %s, or an unsupported version)", data[:8], what)
+	}
+	sum := binary.LittleEndian.Uint32(data[8:])
+	length := binary.LittleEndian.Uint64(data[12:])
+	payload := data[headerSize:]
+	if length != uint64(len(payload)) {
+		return nil, fmt.Errorf("labelstore: header declares %d payload bytes, %d present", length, len(payload))
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("labelstore: checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	return payload, nil
+}
+
+// appendSchemeHeader appends the scheme kind byte and the marshaled
+// specification shared by every checkpoint payload.
+func appendSchemeHeader(buf []byte, scheme *core.Scheme) ([]byte, error) {
+	if scheme.IsBasic() {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	spec, err := json.Marshal(scheme.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return appendBytes(buf, spec), nil
+}
+
+// checkSchemeHeader decodes the scheme kind and specification and matches
+// them against the caller's scheme; a mismatch is faults.ErrForeignLabel.
+func checkSchemeHeader(d *decoder, scheme *core.Scheme) error {
+	kind, err := d.byte()
+	if err != nil {
+		return err
+	}
+	if kind > 1 {
+		return fmt.Errorf("labelstore: unknown scheme kind %d", kind)
+	}
+	specBytes, err := d.bytes()
+	if err != nil {
+		return err
+	}
+	ourSpec, err := json.Marshal(scheme.Spec)
+	if err != nil {
+		return err
+	}
+	if (kind == 1) != scheme.IsBasic() || !bytes.Equal(specBytes, ourSpec) {
+		return fmt.Errorf("labelstore: checkpoint: %w", faults.ErrForeignLabel)
+	}
+	return nil
+}
+
+func encodeCoordCheckpoint(scheme *core.Scheme, r *run.Run, paths *core.RunLabeler) ([]byte, error) {
+	buf, err := appendSchemeHeader(nil, scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.Steps)))
+	for _, s := range r.Steps {
+		buf = binary.AppendUvarint(buf, uint64(s.Instance))
+		buf = binary.AppendUvarint(buf, uint64(s.Prod))
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.Instances)))
+	for _, inst := range r.Instances {
+		buf = appendString(buf, inst.Module)
+		buf = binary.AppendUvarint(buf, uint64(inst.Parent+1))
+		buf = binary.AppendUvarint(buf, uint64(inst.Prod))
+		buf = binary.AppendUvarint(buf, uint64(inst.Step))
+		buf = binary.AppendUvarint(buf, uint64(inst.NodeIndex))
+		for _, pid := range inst.Inputs {
+			buf = binary.AppendUvarint(buf, uint64(pid))
+		}
+		for _, pid := range inst.Outputs {
+			buf = binary.AppendUvarint(buf, uint64(pid))
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.Ports)))
+	for _, p := range r.Ports {
+		buf = binary.AppendUvarint(buf, uint64(p.Owner))
+		buf = append(buf, byte(p.Kind))
+		buf = binary.AppendUvarint(buf, uint64(p.Index))
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.Items)))
+	for _, item := range r.Items {
+		buf = binary.AppendUvarint(buf, uint64(item.Src+1))
+		buf = binary.AppendUvarint(buf, uint64(item.Dst+1))
+		buf = binary.AppendUvarint(buf, uint64(item.Step))
+		buf = binary.AppendUvarint(buf, uint64(item.CreatedBy+1))
+	}
+
+	pathsByID, err := paths.FrontierPaths(r)
+	if err != nil {
+		return nil, fmt.Errorf("labelstore: checkpointing tracker state: %w", err)
+	}
+	codec := scheme.Codec()
+	frontier := r.Frontier()
+	buf = binary.AppendUvarint(buf, uint64(len(frontier)))
+	for _, id := range frontier {
+		pbuf, nbit := codec.EncodePath(pathsByID[id])
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(nbit))
+		buf = appendBytes(buf, pbuf)
+	}
+	return buf, nil
+}
+
+// LoadCoordCheckpoint reads a coordinator checkpoint written by
+// SaveCoordCheckpoint and restores the run and paths tracker against the
+// given scheme.
+func LoadCoordCheckpoint(r io.Reader, scheme *core.Scheme) (*CoordCheckpointState, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return LoadCoordCheckpointBytes(data, scheme)
+}
+
+// LoadCoordCheckpointBytes is LoadCoordCheckpoint over in-memory bytes.
+func LoadCoordCheckpointBytes(data []byte, scheme *core.Scheme) (*CoordCheckpointState, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("labelstore: nil scheme")
+	}
+	st, err := loadCoordCheckpoint(data, scheme)
+	if err != nil {
+		if errors.Is(err, faults.ErrForeignLabel) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %w", faults.ErrCorruptCheckpoint, err)
+	}
+	return st, nil
+}
+
+func loadCoordCheckpoint(data []byte, scheme *core.Scheme) (*CoordCheckpointState, error) {
+	payload, err := openFramed(data, coordCheckpointMagic, "coordinator checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{data: payload}
+	if err := checkSchemeHeader(d, scheme); err != nil {
+		return nil, err
+	}
+
+	numSteps, err := d.count("step list", 2)
+	if err != nil {
+		return nil, err
+	}
+	steps := make([][2]int, numSteps)
+	for i := range steps {
+		if steps[i][0], err = d.int("step instance"); err != nil {
+			return nil, err
+		}
+		if steps[i][1], err = d.int("step production"); err != nil {
+			return nil, err
+		}
+	}
+
+	g := scheme.Spec.Grammar
+	numInst, err := d.count("instance list", 5)
+	if err != nil {
+		return nil, err
+	}
+	instances := make([]run.Instance, numInst)
+	for i := range instances {
+		inst := &instances[i]
+		if inst.Module, err = d.string(); err != nil {
+			return nil, err
+		}
+		if inst.Parent, err = d.intPlusOne("instance parent"); err != nil {
+			return nil, err
+		}
+		if inst.Prod, err = d.int("instance production"); err != nil {
+			return nil, err
+		}
+		if inst.Step, err = d.int("instance step"); err != nil {
+			return nil, err
+		}
+		if inst.NodeIndex, err = d.int("instance node index"); err != nil {
+			return nil, err
+		}
+		decl, ok := g.Modules[inst.Module]
+		if !ok {
+			return nil, fmt.Errorf("labelstore: instance %d has unknown module %q", i, inst.Module)
+		}
+		if inst.Inputs, err = d.ints("input ports", decl.In); err != nil {
+			return nil, err
+		}
+		if inst.Outputs, err = d.ints("output ports", decl.Out); err != nil {
+			return nil, err
+		}
+	}
+
+	numPorts, err := d.count("port list", 3)
+	if err != nil {
+		return nil, err
+	}
+	ports := make([]run.PortInstance, numPorts)
+	for i := range ports {
+		p := &ports[i]
+		if p.Owner, err = d.int("port owner"); err != nil {
+			return nil, err
+		}
+		kind, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		p.Kind = workflow.PortKind(kind)
+		if p.Index, err = d.int("port index"); err != nil {
+			return nil, err
+		}
+	}
+
+	numItems, err := d.count("item list", 4)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]run.DataItem, numItems)
+	for i := range items {
+		item := &items[i]
+		if item.Src, err = d.intPlusOne("item source"); err != nil {
+			return nil, err
+		}
+		if item.Dst, err = d.intPlusOne("item destination"); err != nil {
+			return nil, err
+		}
+		if item.Step, err = d.int("item step"); err != nil {
+			return nil, err
+		}
+		if item.CreatedBy, err = d.intPlusOne("item creator"); err != nil {
+			return nil, err
+		}
+	}
+
+	numPaths, err := d.count("frontier list", 3)
+	if err != nil {
+		return nil, err
+	}
+	codec := scheme.Codec()
+	paths := make(map[int][]core.EdgeLabel, numPaths)
+	for e := 0; e < numPaths; e++ {
+		id, err := d.int("frontier instance")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := paths[id]; dup {
+			return nil, fmt.Errorf("labelstore: two paths for frontier instance %d", id)
+		}
+		nbit, err := d.int("path bit count")
+		if err != nil {
+			return nil, err
+		}
+		pbuf, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if paths[id], err = codec.DecodePath(pbuf, nbit); err != nil {
+			return nil, fmt.Errorf("labelstore: frontier instance %d path: %w", id, err)
+		}
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("labelstore: %d trailing payload bytes after the checkpoint", len(d.data)-d.pos)
+	}
+
+	restored, err := run.Restore(scheme.Spec, instances, ports, items, steps)
+	if err != nil {
+		return nil, err
+	}
+	// The persisted paths must cover the restored frontier exactly, for the
+	// same reason as a session checkpoint's.
+	frontier := restored.Frontier()
+	if len(paths) != len(frontier) {
+		return nil, fmt.Errorf("labelstore: %d frontier paths for %d frontier instances", len(paths), len(frontier))
+	}
+	for _, id := range frontier {
+		if _, ok := paths[id]; !ok {
+			return nil, fmt.Errorf("labelstore: frontier instance %d has no path", id)
+		}
+	}
+	tracker, err := scheme.RestorePathTracker(paths)
+	if err != nil {
+		return nil, err
+	}
+	return &CoordCheckpointState{Run: restored, Paths: tracker, Steps: steps}, nil
+}
+
+// SaveShardCheckpoint persists one shard's labels: the local step count and
+// the ascending (item ID, label) pairs the shard owns.
+func SaveShardCheckpoint(w io.Writer, scheme *core.Scheme, localSteps int, ids []int, labels []*core.DataLabel) error {
+	if scheme == nil {
+		return fmt.Errorf("labelstore: nil scheme")
+	}
+	if localSteps < 0 {
+		return fmt.Errorf("labelstore: negative local step count %d", localSteps)
+	}
+	if len(ids) != len(labels) {
+		return fmt.Errorf("labelstore: %d item IDs with %d labels", len(ids), len(labels))
+	}
+	buf, err := appendSchemeHeader(nil, scheme)
+	if err != nil {
+		return err
+	}
+	buf = binary.AppendUvarint(buf, uint64(localSteps))
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	codec := scheme.Codec()
+	for i, id := range ids {
+		if i > 0 && id <= ids[i-1] {
+			return fmt.Errorf("labelstore: shard item IDs not strictly increasing at %d", id)
+		}
+		if id < 1 {
+			return fmt.Errorf("labelstore: shard item ID %d out of range", id)
+		}
+		if labels[i] == nil {
+			return fmt.Errorf("labelstore: item %d has no label to checkpoint", id)
+		}
+		lbuf, nbit := codec.Encode(labels[i])
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(nbit))
+		buf = appendBytes(buf, lbuf)
+	}
+	return writeFramed(w, shardCheckpointMagic, buf)
+}
+
+// LoadShardCheckpoint reads a shard checkpoint written by SaveShardCheckpoint
+// and validates it against the given scheme.
+func LoadShardCheckpoint(r io.Reader, scheme *core.Scheme) (*ShardCheckpointState, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return LoadShardCheckpointBytes(data, scheme)
+}
+
+// LoadShardCheckpointBytes is LoadShardCheckpoint over in-memory bytes.
+func LoadShardCheckpointBytes(data []byte, scheme *core.Scheme) (*ShardCheckpointState, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("labelstore: nil scheme")
+	}
+	st, err := loadShardCheckpoint(data, scheme)
+	if err != nil {
+		if errors.Is(err, faults.ErrForeignLabel) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %w", faults.ErrCorruptCheckpoint, err)
+	}
+	return st, nil
+}
+
+func loadShardCheckpoint(data []byte, scheme *core.Scheme) (*ShardCheckpointState, error) {
+	payload, err := openFramed(data, shardCheckpointMagic, "shard checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{data: payload}
+	if err := checkSchemeHeader(d, scheme); err != nil {
+		return nil, err
+	}
+	localSteps, err := d.int("local step count")
+	if err != nil {
+		return nil, err
+	}
+	numItems, err := d.count("shard item list", 3)
+	if err != nil {
+		return nil, err
+	}
+	codec := scheme.Codec()
+	ids := make([]int, numItems)
+	labels := make([]*core.DataLabel, numItems)
+	for i := range ids {
+		if ids[i], err = d.int("shard item ID"); err != nil {
+			return nil, err
+		}
+		if ids[i] < 1 || (i > 0 && ids[i] <= ids[i-1]) {
+			return nil, fmt.Errorf("labelstore: shard item IDs not strictly increasing at index %d", i)
+		}
+		nbit, err := d.int("label bit count")
+		if err != nil {
+			return nil, err
+		}
+		lbuf, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if labels[i], err = codec.Decode(lbuf, nbit); err != nil {
+			return nil, fmt.Errorf("labelstore: item %d label: %w", ids[i], err)
+		}
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("labelstore: %d trailing payload bytes after the checkpoint", len(d.data)-d.pos)
+	}
+	return &ShardCheckpointState{LocalSteps: localSteps, IDs: ids, Labels: labels}, nil
+}

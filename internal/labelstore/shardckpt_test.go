@@ -1,0 +1,242 @@
+package labelstore_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/labelstore"
+	"repro/internal/live"
+	"repro/internal/run"
+	"repro/internal/shard"
+	"repro/internal/workloads"
+)
+
+// shardedCheckpointAt drives a fresh n-shard coordinator through the first k
+// steps and captures the full checkpoint set: the coordinator blob plus one
+// blob per shard.
+func shardedCheckpointAt(t *testing.T, scheme *core.Scheme, steps []live.StepRequest, k, n int) (coordBlob []byte, shardBlobs [][]byte, mems []*shard.MemShard) {
+	t.Helper()
+	mems = make([]*shard.MemShard, n)
+	ifaces := make([]shard.Shard, n)
+	for i := range mems {
+		m, err := shard.NewMem(scheme, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[i], ifaces[i] = m, m
+	}
+	coord, err := shard.New(scheme, ifaces, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := coord.Apply(steps[i].Instance, steps[i].Prod); err != nil {
+			t.Fatalf("applying step %d: %v", i+1, err)
+		}
+	}
+	var buf bytes.Buffer
+	err = coord.Exclusive(func(r *run.Run, paths *core.RunLabeler) error {
+		return labelstore.SaveCoordCheckpoint(&buf, scheme, r, paths)
+	})
+	if err != nil {
+		t.Fatalf("coordinator checkpoint at step %d: %v", k, err)
+	}
+	shardBlobs = make([][]byte, n)
+	for i, m := range mems {
+		p := m.Prefix()
+		var sb bytes.Buffer
+		if err := labelstore.SaveShardCheckpoint(&sb, scheme, p.Steps(), p.IDs(), p.Labels()); err != nil {
+			t.Fatalf("shard %d checkpoint at step %d: %v", i, k, err)
+		}
+		shardBlobs[i] = sb.Bytes()
+	}
+	return buf.Bytes(), shardBlobs, mems
+}
+
+// TestShardCheckpointRoundTrip captures the sharded checkpoint set at every
+// prefix of a random run, restores coordinator and shards from the blobs,
+// finishes the run, and checks the final labels are byte-identical to batch
+// labeling.
+func TestShardCheckpointRoundTrip(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 40, 17)
+	const n = 3
+
+	full := run.New(spec)
+	for _, req := range steps {
+		if _, err := full.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := scheme.LabelRun(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := scheme.Codec()
+
+	for k := 0; k <= len(steps); k++ {
+		coordBlob, shardBlobs, _ := shardedCheckpointAt(t, scheme, steps, k, n)
+		st, err := labelstore.LoadCoordCheckpointBytes(coordBlob, scheme)
+		if err != nil {
+			t.Fatalf("k=%d: LoadCoordCheckpointBytes: %v", k, err)
+		}
+		if len(st.Steps) != k {
+			t.Fatalf("k=%d: coordinator checkpoint records %d steps", k, len(st.Steps))
+		}
+		ifaces := make([]shard.Shard, n)
+		for i, blob := range shardBlobs {
+			sck, err := labelstore.LoadShardCheckpointBytes(blob, scheme)
+			if err != nil {
+				t.Fatalf("k=%d: shard %d: LoadShardCheckpointBytes: %v", k, i, err)
+			}
+			if want := shard.Owned(k, i, n); sck.LocalSteps != want {
+				t.Fatalf("k=%d: shard %d checkpoint covers %d local steps, want %d", k, i, sck.LocalSteps, want)
+			}
+			m, err := shard.RestoreMem(scheme, sck.LocalSteps, sck.IDs, sck.Labels, nil)
+			if err != nil {
+				t.Fatalf("k=%d: shard %d: RestoreMem: %v", k, i, err)
+			}
+			ifaces[i] = m
+		}
+		coord, err := shard.Restore(scheme, ifaces, st.Run, st.Paths, nil)
+		if err != nil {
+			t.Fatalf("k=%d: shard.Restore: %v", k, err)
+		}
+		for i := k; i < len(steps); i++ {
+			if _, err := coord.Apply(steps[i].Instance, steps[i].Prod); err != nil {
+				t.Fatalf("k=%d: continuing at step %d: %v", k, i+1, err)
+			}
+		}
+		pin := coord.Pin()
+		if got, wantN := pin.Items(), len(full.Items); got != wantN {
+			t.Fatalf("k=%d: restored session resolves %d items, want %d", k, got, wantN)
+		}
+		for id := 1; id <= len(full.Items); id++ {
+			gotL, ok := pin.Label(id)
+			if !ok {
+				t.Fatalf("k=%d: item %d unlabeled after restore", k, id)
+			}
+			wantL, ok := want.Label(id)
+			if !ok {
+				t.Fatalf("item %d unlabeled by LabelRun", id)
+			}
+			gb, gn := codec.Encode(gotL)
+			wb, wn := codec.Encode(wantL)
+			if gn != wn || !bytes.Equal(gb, wb) {
+				t.Fatalf("k=%d: item %d label diverges from LabelRun", k, id)
+			}
+		}
+	}
+}
+
+// TestShardCheckpointDeterministic asserts two checkpoint sets of the same
+// state are byte-identical, blob for blob.
+func TestShardCheckpointDeterministic(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 30, 19)
+	k := len(steps) / 2
+	c1, s1, _ := shardedCheckpointAt(t, scheme, steps, k, 2)
+	c2, s2, _ := shardedCheckpointAt(t, scheme, steps, k, 2)
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("two coordinator checkpoints of the same state differ")
+	}
+	for i := range s1 {
+		if !bytes.Equal(s1[i], s2[i]) {
+			t.Fatalf("two shard %d checkpoints of the same state differ", i)
+		}
+	}
+}
+
+// TestShardCheckpointRejectsCorruption flips bytes of both blob kinds and
+// requires every mutation to be rejected as corrupt or foreign, never to
+// panic or load.
+func TestShardCheckpointRejectsCorruption(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 20, 23)
+	coordBlob, shardBlobs, _ := shardedCheckpointAt(t, scheme, steps, len(steps)/2, 2)
+
+	if _, err := labelstore.LoadCoordCheckpointBytes(coordBlob, scheme); err != nil {
+		t.Fatalf("pristine coordinator checkpoint rejected: %v", err)
+	}
+	check := func(what string, blob []byte, load func([]byte) error) {
+		t.Helper()
+		stride := 1
+		if len(blob) > 512 {
+			stride = len(blob) / 512
+		}
+		for off := 0; off < len(blob); off += stride {
+			mut := append([]byte(nil), blob...)
+			mut[off] ^= 0x40
+			err := load(mut)
+			if err == nil {
+				t.Fatalf("%s: flip at offset %d accepted", what, off)
+			}
+			if !errors.Is(err, faults.ErrCorruptCheckpoint) && !errors.Is(err, faults.ErrForeignLabel) {
+				t.Fatalf("%s: flip at offset %d: unclassified error %v", what, off, err)
+			}
+		}
+		if err := load(blob[:15]); !errors.Is(err, faults.ErrCorruptCheckpoint) {
+			t.Fatalf("%s: truncated blob: want ErrCorruptCheckpoint, got %v", what, err)
+		}
+	}
+	check("coord", coordBlob, func(b []byte) error {
+		_, err := labelstore.LoadCoordCheckpointBytes(b, scheme)
+		return err
+	})
+	check("shard", shardBlobs[1], func(b []byte) error {
+		_, err := labelstore.LoadShardCheckpointBytes(b, scheme)
+		return err
+	})
+	// The two blob kinds carry distinct magics: one cannot load as the other.
+	if _, err := labelstore.LoadShardCheckpointBytes(coordBlob, scheme); !errors.Is(err, faults.ErrCorruptCheckpoint) {
+		t.Fatalf("coordinator blob loaded as shard checkpoint: %v", err)
+	}
+	if _, err := labelstore.LoadCoordCheckpointBytes(shardBlobs[0], scheme); !errors.Is(err, faults.ErrCorruptCheckpoint) {
+		t.Fatalf("shard blob loaded as coordinator checkpoint: %v", err)
+	}
+}
+
+// TestShardCheckpointForeignScheme loads both blob kinds against a scheme of
+// a different specification and expects ErrForeignLabel, not corruption.
+func TestShardCheckpointForeignScheme(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := randomSteps(t, scheme, 20, 29)
+	coordBlob, shardBlobs, _ := shardedCheckpointAt(t, scheme, steps, len(steps)/2, 2)
+
+	other, err := core.NewScheme(workloads.BioAID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := labelstore.LoadCoordCheckpointBytes(coordBlob, other); !errors.Is(err, faults.ErrForeignLabel) {
+		t.Fatalf("foreign coordinator checkpoint: want ErrForeignLabel, got %v", err)
+	}
+	if _, err := labelstore.LoadShardCheckpointBytes(shardBlobs[0], other); !errors.Is(err, faults.ErrForeignLabel) {
+		t.Fatalf("foreign shard checkpoint: want ErrForeignLabel, got %v", err)
+	}
+	basic, err := core.NewSchemeBasic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := labelstore.LoadShardCheckpointBytes(shardBlobs[0], basic); !errors.Is(err, faults.ErrForeignLabel) {
+		t.Fatalf("kind-mismatched shard checkpoint: want ErrForeignLabel, got %v", err)
+	}
+}

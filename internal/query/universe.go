@@ -1,0 +1,198 @@
+package query
+
+// Scatter-gather execution over a partitioned item universe. A sharded
+// session splits one run's item-ID space across N partitions, each carrying
+// its own core.ItemIndex built over the SAME 1..Items() universe (holes
+// where another partition owns the ID). ExecuteOver runs every leaf scan
+// against every partition and ORs the bitset rows at the gather point —
+// legal because the scans answer "which of MY items relate to this target",
+// and the partitions' item sets are disjoint. Targets are resolved to raw
+// labels through the Universe (they may live in any partition) and scanned
+// via the ForLabel row entry points, whose answers are byte-identical to the
+// interned path.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/boolmat"
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// Universe is one pinned, possibly partitioned item universe: the total item
+// count, one ItemIndex per partition (all built over the same 1..Items()
+// ID space), and a resolver from item ID to its label wherever it lives.
+// Implementations must be safe for concurrent readers — the engine executes
+// many plans against one Universe at once.
+type Universe interface {
+	Items() int
+	Parts() []*core.ItemIndex
+	Label(itemID int) (*core.DataLabel, bool)
+}
+
+// ExecuteOver runs the plan against a partitioned universe: ss[k] is the
+// goroutine-confined query session used for partition k (plan caches are
+// per-index, so each partition needs its own). A single-partition universe
+// delegates to the plain Execute path. Error semantics match Execute: query
+// targets that are unknown or hidden fail the query, unanswerable candidate
+// items are excluded.
+func (p *Plan) ExecuteOver(ss []*core.QuerySession, u Universe) (*Value, error) {
+	if u == nil {
+		return nil, fmt.Errorf("query: nil universe: %w", faults.ErrInvalidQuery)
+	}
+	parts := u.Parts()
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("query: universe has no partitions: %w", faults.ErrInvalidQuery)
+	}
+	if len(ss) != len(parts) {
+		return nil, fmt.Errorf("query: %d sessions for %d partitions: %w", len(ss), len(parts), faults.ErrInvalidQuery)
+	}
+	if len(parts) == 1 {
+		return p.Execute(ss[0], parts[0])
+	}
+	for k, idx := range parts {
+		if idx == nil {
+			return nil, fmt.Errorf("query: nil partition index %d: %w", k, faults.ErrInvalidQuery)
+		}
+		ss[k].EnsurePlan(idx)
+	}
+	e := &overExec{p: p, ss: ss, u: u, parts: parts}
+	return e.exec(p.root)
+}
+
+type overExec struct {
+	p     *Plan
+	ss    []*core.QuerySession
+	u     Universe
+	parts []*core.ItemIndex
+}
+
+// depsRow gathers Deps(item) across every partition into one row. The target
+// label is resolved globally; per-partition errors are label-determined
+// (unknown/hidden depend only on the label and the view), so the partitions
+// always agree and the first error speaks for all.
+func (e *overExec) depsRow(vl *core.ViewLabel, item int) (*boolmat.Matrix, error) {
+	d, _ := e.u.Label(item)
+	acc := boolmat.New(1, e.u.Items()+1)
+	for k, idx := range e.parts {
+		row, err := e.ss[k].DepsRowForLabel(vl, idx, item, d)
+		if err != nil {
+			return nil, err
+		}
+		boolmat.OrInto(acc, acc, row)
+	}
+	return acc, nil
+}
+
+func (e *overExec) revDepsRow(vl *core.ViewLabel, item int) (*boolmat.Matrix, error) {
+	d, _ := e.u.Label(item)
+	acc := boolmat.New(1, e.u.Items()+1)
+	for k, idx := range e.parts {
+		row, err := e.ss[k].RevDepsRowForLabel(vl, idx, item, d)
+		if err != nil {
+			return nil, err
+		}
+		boolmat.OrInto(acc, acc, row)
+	}
+	return acc, nil
+}
+
+func (e *overExec) exec(n *planNode) (*Value, error) {
+	switch n.op {
+	case OpDeps:
+		row, err := e.depsRow(n.label, n.item)
+		if err != nil {
+			return nil, err
+		}
+		return &Value{Kind: KindItems, Items: row}, nil
+
+	case OpRevDeps:
+		row, err := e.revDepsRow(n.label, n.item)
+		if err != nil {
+			return nil, err
+		}
+		return &Value{Kind: KindItems, Items: row}, nil
+
+	case OpExplain:
+		acc := boolmat.New(1, e.u.Items()+1)
+		for _, it := range n.items {
+			row, err := e.depsRow(n.label, it)
+			if err != nil {
+				if errors.Is(err, faults.ErrHiddenItem) {
+					continue
+				}
+				return nil, err
+			}
+			boolmat.OrInto(acc, acc, row)
+		}
+		// The universe's initial inputs are the union of the partitions'.
+		initials := boolmat.New(1, e.u.Items()+1)
+		for _, idx := range e.parts {
+			boolmat.OrInto(initials, initials, idx.InitialsRow())
+		}
+		boolmat.AndInto(acc, acc, initials)
+		return &Value{Kind: KindItems, Items: acc}, nil
+
+	case OpBetween:
+		// Visibility rows are per-partition and cached read-only: OR copies.
+		visA := boolmat.New(1, e.u.Items()+1)
+		visB := boolmat.New(1, e.u.Items()+1)
+		for k, idx := range e.parts {
+			boolmat.OrInto(visA, visA, e.ss[k].VisibleRow(n.visA, idx))
+			boolmat.OrInto(visB, visB, e.ss[k].VisibleRow(n.visB, idx))
+		}
+		var pairs []PairRow
+		visA.EachTrueInRow(0, func(a int) {
+			row, err := e.revDepsRow(n.label, a)
+			if err != nil {
+				return // unanswerable source: excluded, like the unsharded scan
+			}
+			boolmat.AndInto(row, row, visB)
+			if row.Any() {
+				pairs = append(pairs, PairRow{From: a, Row: row})
+			}
+		})
+		return &Value{Kind: KindPairs, Pairs: pairs}, nil
+
+	case OpUnion, OpIntersect:
+		va, err := e.exec(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		vb, err := e.exec(n.kids[1])
+		if err != nil {
+			return nil, err
+		}
+		if va.Kind == KindItems {
+			if n.op == OpUnion {
+				boolmat.OrInto(va.Items, va.Items, vb.Items)
+			} else {
+				boolmat.AndInto(va.Items, va.Items, vb.Items)
+			}
+			return va, nil
+		}
+		if n.op == OpUnion {
+			return &Value{Kind: KindPairs, Pairs: mergePairsUnion(va.Pairs, vb.Pairs)}, nil
+		}
+		return &Value{Kind: KindPairs, Pairs: mergePairsIntersect(va.Pairs, vb.Pairs)}, nil
+
+	case OpProject:
+		v, err := e.exec(n.kids[0])
+		if err != nil {
+			return nil, err
+		}
+		row := boolmat.New(1, e.u.Items()+1)
+		for _, pr := range v.Pairs {
+			if n.side == 1 {
+				row.Set(0, pr.From, true)
+			} else {
+				boolmat.OrInto(row, row, pr.Row)
+			}
+		}
+		return &Value{Kind: KindItems, Items: row}, nil
+
+	default:
+		return nil, fmt.Errorf("query: unexecutable node %d: %w", int(n.op), faults.ErrInvalidQuery)
+	}
+}

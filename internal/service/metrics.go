@@ -95,10 +95,47 @@ type inflightSample struct {
 	queries, streams int
 }
 
-// write renders the registry in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, sessions []sessionSample, inflight []inflightSample) {
+// metricsSnapshot is a point-in-time copy of the mutex-guarded counters, so
+// rendering can happen after the lock is released: a slow scraper must never
+// block observeStep/addSteps/addQuery on the hot ingestion path.
+type metricsSnapshot struct {
+	queries     map[string]uint64
+	steps       map[string]uint64
+	throttled   map[string]uint64
+	draining    float64
+	stepBuckets [len(latencyBounds) + 1]uint64
+	stepSum     float64
+	stepCount   uint64
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot copies every counter under the lock; arrays copy by value.
+func (m *metrics) snapshot() metricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return metricsSnapshot{
+		queries:     copyCounts(m.queries),
+		steps:       copyCounts(m.steps),
+		throttled:   copyCounts(m.throttled),
+		draining:    m.draining,
+		stepBuckets: m.stepBuckets,
+		stepSum:     m.stepSum,
+		stepCount:   m.stepCount,
+	}
+}
+
+// write renders the registry in Prometheus text exposition format. The
+// counters are snapshotted under the lock and rendered outside it, so a slow
+// ResponseWriter cannot stall the ingestion hot path.
+func (m *metrics) write(w io.Writer, sessions []sessionSample, inflight []inflightSample) {
+	snap := m.snapshot()
 
 	counter := func(name, help string, vals map[string]uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
@@ -106,20 +143,20 @@ func (m *metrics) write(w io.Writer, sessions []sessionSample, inflight []inflig
 			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tenant, vals[tenant])
 		}
 	}
-	counter("fvld_queries_total", "Query requests admitted, by tenant.", m.queries)
-	counter("fvld_steps_total", "Derivation steps applied via step streams, by tenant.", m.steps)
-	counter("fvld_throttled_total", "Requests refused by admission control (429), by tenant.", m.throttled)
+	counter("fvld_queries_total", "Query requests admitted, by tenant.", snap.queries)
+	counter("fvld_steps_total", "Derivation steps applied via step streams, by tenant.", snap.steps)
+	counter("fvld_throttled_total", "Requests refused by admission control (429), by tenant.", snap.throttled)
 
 	fmt.Fprintf(w, "# HELP fvld_step_latency_seconds Per-step ingestion latency (decode to feed accept).\n")
 	fmt.Fprintf(w, "# TYPE fvld_step_latency_seconds histogram\n")
 	var cum uint64
 	for i, bound := range latencyBounds {
-		cum += m.stepBuckets[i]
+		cum += snap.stepBuckets[i]
 		fmt.Fprintf(w, "fvld_step_latency_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
 	}
-	fmt.Fprintf(w, "fvld_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", m.stepCount)
-	fmt.Fprintf(w, "fvld_step_latency_seconds_sum %g\n", m.stepSum)
-	fmt.Fprintf(w, "fvld_step_latency_seconds_count %d\n", m.stepCount)
+	fmt.Fprintf(w, "fvld_step_latency_seconds_bucket{le=\"+Inf\"} %d\n", snap.stepCount)
+	fmt.Fprintf(w, "fvld_step_latency_seconds_sum %g\n", snap.stepSum)
+	fmt.Fprintf(w, "fvld_step_latency_seconds_count %d\n", snap.stepCount)
 
 	fmt.Fprintf(w, "# HELP fvld_session_epoch Published step prefix (epoch) of each session.\n")
 	fmt.Fprintf(w, "# TYPE fvld_session_epoch gauge\n")
@@ -150,11 +187,13 @@ func (m *metrics) write(w io.Writer, sessions []sessionSample, inflight []inflig
 
 	fmt.Fprintf(w, "# HELP fvld_draining Whether the server is refusing new writes.\n")
 	fmt.Fprintf(w, "# TYPE fvld_draining gauge\n")
-	fmt.Fprintf(w, "fvld_draining %g\n", m.draining)
+	fmt.Fprintf(w, "fvld_draining %g\n", snap.draining)
 }
 
-// formatBound renders a bucket bound the way Prometheus clients expect
-// (shortest float representation, no exponent for small magnitudes).
+// formatBound renders a bucket bound as Go's shortest %g representation;
+// small magnitudes come out in exponent form (1e-06, 1e-05, ...), which the
+// Prometheus text format accepts as a float label value. The golden scrape
+// test pins this rendering.
 func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
 }
@@ -172,15 +211,19 @@ func sortedKeys(m map[string]uint64) []string {
 func (s *Server) collectSessions() []sessionSample {
 	var out []sessionSample
 	for _, sess := range s.allSessions() {
+		// Read the epoch exactly once per sample: a producer racing the
+		// scrape must not make fvld_session_checkpoint_lag_steps disagree
+		// with fvld_session_epoch within one exposition.
+		epoch := sess.sess.Epoch()
 		sample := sessionSample{
 			tenant:  sess.tenant,
 			scheme:  sess.scheme.name,
 			session: sess.name,
-			epoch:   sess.sess.Epoch(),
+			epoch:   epoch,
 			lag:     math.NaN(),
 		}
 		if sess.durable != nil {
-			sample.lag = float64(sess.sess.Epoch()) - float64(sess.durable.LastCheckpoint())
+			sample.lag = float64(epoch) - float64(sess.durable.LastCheckpoint())
 		}
 		out = append(out, sample)
 	}

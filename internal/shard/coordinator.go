@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/run"
+)
+
+// MaxShards bounds the shard count of one session; far above any useful
+// fan-out on one machine, it only stops typos from allocating absurdly.
+const MaxShards = 64
+
+// routing is the coordinator's published routing table: the number of
+// structurally applied steps and the cumulative item count after each of
+// them (itemsAt[s] is the item count after s steps; itemsAt[0] counts the
+// initial items). It is published before the step is dispatched to its
+// owner, so any step visible in a shard prefix is covered by the latest
+// routing table — the ordering Vector pinning relies on.
+type routing struct {
+	steps   int
+	itemsAt []int
+}
+
+// Coordinator owns the structural half of a sharded session: the run, the
+// paths-only labeler tracking the compressed parse tree, and the routing
+// table. Producers (Apply, Feed) serialize on the coordinator's mutex for
+// the structural step, then dispatch the step's envelope to the owning
+// shard outside the lock; the shard's ticket ordering restores local step
+// order. Readers pin epoch vectors with Pin and never block producers.
+type Coordinator struct {
+	scheme *core.Scheme
+	n      int
+	shards []Shard
+
+	mu         sync.Mutex
+	run        *run.Run
+	paths      *core.RunLabeler
+	sink       live.JournalSink
+	failed     error
+	itemsAtBuf []int
+
+	rt atomic.Pointer[routing]
+}
+
+// New starts a sharded run of the scheme's specification: the coordinator
+// derives the initial run state, ships shard 0 its initial items (the other
+// shards initialize empty), and publishes the routing table at step 0.
+// sink, when non-nil, receives every structurally applied step under the
+// producer lock — the global journal of the session; durable sessions pass
+// nil here and journal per shard instead.
+func New(scheme *core.Scheme, shards []Shard, sink live.JournalSink) (*Coordinator, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("shard: nil scheme")
+	}
+	if len(shards) < 1 || len(shards) > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards out of range [1, %d]", len(shards), MaxShards)
+	}
+	c := &Coordinator{scheme: scheme, n: len(shards), shards: shards, sink: sink}
+	c.run = run.New(scheme.Spec)
+	c.paths = scheme.NewPathTracker()
+	if err := c.paths.OnInit(c.run); err != nil {
+		return nil, err
+	}
+	initial := make([]core.RemoteItem, 0, len(c.run.Items))
+	for _, item := range c.run.Items {
+		ri, err := c.remoteItem(item)
+		if err != nil {
+			return nil, err
+		}
+		initial = append(initial, ri)
+	}
+	for k, sh := range c.shards {
+		var items []core.RemoteItem
+		if k == 0 {
+			items = initial
+		}
+		if err := sh.Init(items); err != nil {
+			return nil, fmt.Errorf("shard: initializing shard %d: %w", k, err)
+		}
+	}
+	c.mu.Lock()
+	c.itemsAtBuf = append(c.itemsAtBuf, len(c.run.Items))
+	c.publishRoutingLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Restore rebuilds a coordinator around recovered state — a run and the
+// paths tracker that placed it — without replaying a single step. The
+// shards must already be restored to exactly their share of the run's
+// steps (Owned of len(r.Steps)); the caller then replays any journal tail
+// through Apply. A sink attached here starts at the restored epoch.
+func Restore(scheme *core.Scheme, shards []Shard, r *run.Run, paths *core.RunLabeler, sink live.JournalSink) (*Coordinator, error) {
+	if scheme == nil || r == nil || paths == nil {
+		return nil, fmt.Errorf("shard: restore needs a scheme, a run and a paths tracker")
+	}
+	if r.Spec != scheme.Spec {
+		return nil, fmt.Errorf("shard: restored run: %w", faults.ErrForeignLabel)
+	}
+	if len(shards) < 1 || len(shards) > MaxShards {
+		return nil, fmt.Errorf("shard: %d shards out of range [1, %d]", len(shards), MaxShards)
+	}
+	c := &Coordinator{scheme: scheme, n: len(shards), shards: shards, sink: sink, run: r, paths: paths}
+	steps := len(r.Steps)
+	for k, sh := range c.shards {
+		p := sh.Prefix()
+		if p == nil {
+			return nil, fmt.Errorf("shard: restored shard %d has no published prefix", k)
+		}
+		if want := Owned(steps, k, c.n); p.Steps() != want {
+			return nil, fmt.Errorf("shard: restored shard %d is at local step %d, want %d for a run of %d steps",
+				k, p.Steps(), want, steps)
+		}
+	}
+	// Rebuild the routing table from the run: item IDs are dealt in step
+	// order, so the cumulative count after step s is the count of items
+	// created at steps <= s.
+	c.mu.Lock()
+	c.itemsAtBuf = make([]int, steps+1)
+	for _, item := range r.Items {
+		c.itemsAtBuf[item.Step]++
+	}
+	for s := 1; s <= steps; s++ {
+		c.itemsAtBuf[s] += c.itemsAtBuf[s-1]
+	}
+	c.publishRoutingLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Shards returns the shard count n.
+func (c *Coordinator) Shards() int { return c.n }
+
+// Scheme returns the labeling scheme the session labels with.
+func (c *Coordinator) Scheme() *core.Scheme { return c.scheme }
+
+// remoteItem resolves one data item's port endpoints to parse-tree paths.
+// Callers hold the producer lock (or are inside construction).
+func (c *Coordinator) remoteItem(item run.DataItem) (core.RemoteItem, error) {
+	ri := core.RemoteItem{ID: item.ID}
+	if item.Src >= 0 {
+		port, _ := c.run.Port(item.Src)
+		path, ok := c.paths.PathOf(port.Owner)
+		if !ok {
+			return ri, fmt.Errorf("shard: item %d source owner %d was never placed in the parse tree", item.ID, port.Owner)
+		}
+		ri.Src = &core.RemotePort{Path: path, Port: port.Index}
+	}
+	if item.Dst >= 0 {
+		port, _ := c.run.Port(item.Dst)
+		path, ok := c.paths.PathOf(port.Owner)
+		if !ok {
+			return ri, fmt.Errorf("shard: item %d destination owner %d was never placed in the parse tree", item.ID, port.Owner)
+		}
+		ri.Dst = &core.RemotePort{Path: path, Port: port.Index}
+	}
+	return ri, nil
+}
+
+// applyStructural performs the locked half of Apply: validate and record
+// the derivation step, place the new instances in the parse tree, build the
+// owner's envelope, journal the step to the global sink (if any), and
+// publish the routing table. The dispatch itself happens outside the lock.
+func (c *Coordinator) applyStructural(instance, prod int) (Shard, StepEnvelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, StepEnvelope{}, fmt.Errorf("shard: coordinator is poisoned: %w", c.failed)
+	}
+	step, err := c.run.Apply(instance, prod)
+	if err != nil {
+		return nil, StepEnvelope{}, err
+	}
+	if err := c.paths.OnStep(c.run, step); err != nil {
+		c.failed = err
+		return nil, StepEnvelope{}, fmt.Errorf("shard: placing step %d poisoned the coordinator: %w", step.Index, err)
+	}
+	items := make([]core.RemoteItem, 0, len(step.NewItems))
+	for _, itemID := range step.NewItems {
+		item, _ := c.run.Item(itemID)
+		ri, err := c.remoteItem(item)
+		if err != nil {
+			c.failed = err
+			return nil, StepEnvelope{}, fmt.Errorf("shard: step %d poisoned the coordinator: %w", step.Index, err)
+		}
+		items = append(items, ri)
+	}
+	req := live.StepRequest{Instance: instance, Prod: prod}
+	if c.sink != nil {
+		if err := c.sink.Append(req); err != nil {
+			c.failed = fmt.Errorf("shard: journaling step %d: %w", step.Index, err)
+			return nil, StepEnvelope{}, c.failed
+		}
+	}
+	owner := ownerOf(step.Index, c.n)
+	env := StepEnvelope{
+		Global: step.Index,
+		Local:  Owned(step.Index, owner, c.n),
+		Req:    req,
+		Items:  items,
+	}
+	c.itemsAtBuf = append(c.itemsAtBuf, len(c.run.Items))
+	c.publishRoutingLocked()
+	return c.shards[owner], env, nil
+}
+
+// publishRoutingLocked publishes the routing table — the single store site
+// of the coordinator's half of the protocol. itemsAt is capacity-capped so
+// a reader can never observe a later append through an aliased tail.
+func (c *Coordinator) publishRoutingLocked() {
+	n := len(c.itemsAtBuf)
+	c.rt.Store(&routing{
+		steps:   n - 1,
+		itemsAt: c.itemsAtBuf[:n:n],
+	})
+}
+
+// Apply expands the composite instance with the 1-based production index
+// and dispatches the produced items to their owning shard, returning the
+// global step index once the owner has labeled and published the step. A
+// rejected step (unknown instance, wrong production) leaves the session
+// unchanged and usable; a parse-tree, journal or shard failure poisons the
+// coordinator.
+//
+// With concurrent producers the step becomes part of the readable prefix E
+// (see Pin) once every earlier step's owner has also published; a single
+// producer observes E equal to the returned step index.
+func (c *Coordinator) Apply(instance, prod int) (uint64, error) {
+	owner, env, err := c.applyStructural(instance, prod)
+	if err != nil {
+		return 0, err
+	}
+	if err := owner.ApplyOwned(env); err != nil {
+		c.poison(err)
+		return 0, err
+	}
+	return uint64(env.Global), nil
+}
+
+// poison records the first shard failure; later producer calls fail with it.
+func (c *Coordinator) poison(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed == nil {
+		c.failed = err
+	}
+}
+
+// Feed drains step requests from the channel into the session until the
+// channel closes (returns nil), the context is canceled (ErrCanceled), or a
+// step fails (the apply error). Multiple Feed calls and direct Apply calls
+// may run concurrently.
+func (c *Coordinator) Feed(ctx context.Context, reqs <-chan live.StepRequest) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard: feed canceled at epoch %d: %w (%v)", c.Pin().Epoch(), faults.ErrCanceled, context.Cause(ctx))
+		case req, ok := <-reqs:
+			if !ok {
+				return nil
+			}
+			if _, err := c.Apply(req.Instance, req.Prod); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Frontier returns the IDs of the unexpanded composite instances — the
+// steps a producer may apply next. It reflects every structurally applied
+// step, including ones whose labels are still in flight to their shard.
+func (c *Coordinator) Frontier() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.run.Frontier()
+}
+
+// IsComplete reports whether every composite instance has been expanded.
+func (c *Coordinator) IsComplete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.run.IsComplete()
+}
+
+// Expandable returns the 1-based indices of the productions that can expand
+// the given instance, or nil for unknown, expanded, or atomic instances.
+func (c *Coordinator) Expandable(instanceID int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.run.Instance(instanceID)
+	if !ok || inst.Prod != 0 {
+		return nil
+	}
+	return c.scheme.Spec.Grammar.ProductionsFor(inst.Module)
+}
+
+// Err returns the error that poisoned the coordinator, or nil.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// Exclusive runs fn with the producer lock held, passing the run and the
+// paths tracker at one consistent structural epoch — no step can be
+// structurally applied while fn runs. Steps already dispatched may still be
+// in flight to their shards; fn (the durable checkpoint) drains them with
+// MemShard.WaitLocal, which needs no coordinator lock. fn must treat both
+// arguments as read-only and must not call back into the coordinator.
+//
+// A poisoned coordinator refuses, exactly like a poisoned live session.
+func (c *Coordinator) Exclusive(fn func(r *run.Run, paths *core.RunLabeler) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return fmt.Errorf("shard: coordinator is poisoned: %w", c.failed)
+	}
+	return fn(c.run, c.paths)
+}
+
+// WriteJournal exports every structurally applied step in the live journal
+// format, under the producer lock, so the session can be rebuilt with a
+// journal replay. Unlike a live session's lock-free export this pauses
+// producers briefly; the sharded session has no single published step list
+// to export from.
+func (c *Coordinator) WriteJournal(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	jw, err := live.NewJournalWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, st := range c.run.Steps {
+		if err := jw.Append(live.StepRequest{Instance: st.Instance, Prod: st.Prod}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pin pins one consistent readable cut of the sharded session: the shard
+// prefixes are loaded first, the routing table second, so the epoch vector's
+// readable prefix E is always covered by the routing table (see the package
+// comment for the ordering argument).
+func (c *Coordinator) Pin() *Vector {
+	prefixes := make([]*ShardPrefix, c.n)
+	epoch := 0
+	for k, sh := range c.shards {
+		p := sh.Prefix()
+		prefixes[k] = p
+		if cand := k + p.Steps()*c.n; k == 0 || cand < epoch {
+			epoch = cand
+		}
+	}
+	rt := c.rt.Load()
+	if epoch > rt.steps {
+		// Unreachable for a conforming Shard (the routing table for a step
+		// is published before the step can appear in any prefix); clamp so
+		// a misbehaving implementation cannot drive reads out of range.
+		epoch = rt.steps
+	}
+	return &Vector{n: c.n, prefixes: prefixes, rt: rt, epoch: epoch, items: rt.itemsAt[epoch]}
+}
+
+// Epoch returns the readable epoch E of the latest consistent cut.
+func (c *Coordinator) Epoch() uint64 { return c.Pin().Epoch() }
+
+// Items returns the number of readable labeled items at the latest cut.
+func (c *Coordinator) Items() int { return c.Pin().Items() }
+
+// Label returns the label of the data item at the latest consistent cut.
+func (c *Coordinator) Label(itemID int) (*core.DataLabel, bool) {
+	return c.Pin().Label(itemID)
+}

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+// MemShard is the in-process Shard: a sparse core.RunLabeler behind the
+// per-shard epoch protocol. Envelopes dispatched out of local order (by
+// concurrent producers racing past the coordinator's unlock) wait on a
+// condition variable until their ticket comes up, so labels are always
+// assigned — and journaled — in local step order.
+//
+// A MemShard optionally journals its steps through a live.JournalSink (the
+// durable store injects a segment sink per shard); a labeling or journal
+// failure poisons the shard exactly like a live session.
+type MemShard struct {
+	scheme *core.Scheme
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	labeler *core.RunLabeler
+	sink    live.JournalSink
+	failed  error
+	local   int // local steps applied; -1 until Init
+	ids     []int
+	labels  []*core.DataLabel
+
+	cur atomic.Pointer[ShardPrefix]
+}
+
+// NewMem returns an empty in-process shard. sink, when non-nil, receives
+// every owned step before it is published; Init must be called (by the
+// coordinator) before any ApplyOwned.
+func NewMem(scheme *core.Scheme, sink live.JournalSink) (*MemShard, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("shard: nil scheme")
+	}
+	s := &MemShard{scheme: scheme, labeler: scheme.NewRunLabeler(), sink: sink, local: -1}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// RestoreMem rebuilds a shard from persisted state: labels[i] belongs to
+// item ids[i] (strictly increasing — the shard's production order), and the
+// shard has applied local steps local. The restored shard is published
+// immediately; Init must not be called. A sink attached here starts at the
+// restored local step — the restored items are not re-appended.
+func RestoreMem(scheme *core.Scheme, local int, ids []int, labels []*core.DataLabel, sink live.JournalSink) (*MemShard, error) {
+	if scheme == nil {
+		return nil, fmt.Errorf("shard: nil scheme")
+	}
+	if local < 0 {
+		return nil, fmt.Errorf("shard: negative restored step count %d", local)
+	}
+	labeler, err := scheme.RestoreSparseRunLabeler(ids, labels)
+	if err != nil {
+		return nil, err
+	}
+	s := &MemShard{
+		scheme:  scheme,
+		labeler: labeler,
+		sink:    sink,
+		local:   local,
+		ids:     append([]int(nil), ids...),
+		labels:  append([]*core.DataLabel(nil), labels...),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Init implements Shard: label the shard's share of the initial items and
+// publish local step 0.
+func (s *MemShard) Init(items []core.RemoteItem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.local != -1 {
+		return fmt.Errorf("shard: Init on a shard at local step %d", s.local)
+	}
+	labels, err := s.labeler.LabelRemote(items)
+	if err != nil {
+		s.failed = err
+		s.cond.Broadcast()
+		return fmt.Errorf("shard: labeling initial items poisoned the shard: %w", err)
+	}
+	for i, item := range items {
+		s.ids = append(s.ids, item.ID)
+		s.labels = append(s.labels, labels[i])
+	}
+	s.local = 0
+	s.publishLocked()
+	s.cond.Broadcast()
+	return nil
+}
+
+// ApplyOwned implements Shard: wait for the envelope's local-order ticket,
+// label the step's items, journal the step, publish the new prefix. A
+// labeling or journal failure poisons the shard — the step is never
+// published, and every waiting and future call fails with the original
+// error.
+func (s *MemShard) ApplyOwned(env StepEnvelope) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.failed == nil && s.local != env.Local-1 {
+		s.cond.Wait()
+	}
+	if s.failed != nil {
+		return fmt.Errorf("shard: shard is poisoned: %w", s.failed)
+	}
+	labels, err := s.labeler.LabelRemote(env.Items)
+	if err != nil {
+		s.failed = err
+		s.cond.Broadcast()
+		return fmt.Errorf("shard: labeling step %d poisoned the shard: %w", env.Global, err)
+	}
+	if s.sink != nil {
+		if err := s.sink.Append(env.Req); err != nil {
+			s.failed = fmt.Errorf("shard: journaling step %d: %w", env.Global, err)
+			s.cond.Broadcast()
+			return s.failed
+		}
+	}
+	for i, item := range env.Items {
+		s.ids = append(s.ids, item.ID)
+		s.labels = append(s.labels, labels[i])
+	}
+	s.local = env.Local
+	s.publishLocked()
+	s.cond.Broadcast()
+	return nil
+}
+
+// publishLocked publishes the current state as a new ShardPrefix — the
+// single store site of the shard's epoch protocol. The slices are
+// capacity-capped so a reader can never observe a later append through an
+// aliased tail.
+func (s *MemShard) publishLocked() {
+	n := len(s.ids)
+	s.cur.Store(&ShardPrefix{
+		local:  s.local,
+		ids:    s.ids[:n:n],
+		labels: s.labels[:n:n],
+	})
+}
+
+// Prefix implements Shard: the latest published prefix, one atomic load.
+// It is nil only before Init on a fresh shard.
+func (s *MemShard) Prefix() *ShardPrefix { return s.cur.Load() }
+
+// WaitLocal blocks until the shard has published at least n local steps (or
+// the shard is poisoned, returning the poisoning error). The durable store
+// uses it to drain in-flight dispatches before a checkpoint.
+func (s *MemShard) WaitLocal(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.failed == nil && s.local < n {
+		s.cond.Wait()
+	}
+	if s.failed != nil {
+		return fmt.Errorf("shard: shard is poisoned: %w", s.failed)
+	}
+	return nil
+}
+
+// Err returns the error that poisoned the shard, or nil.
+func (s *MemShard) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Close implements Shard. The shard holds no resources of its own — an
+// injected journal sink belongs to whoever injected it.
+func (s *MemShard) Close() error { return nil }
+
+var _ Shard = (*MemShard)(nil)

@@ -1,0 +1,136 @@
+// Package shard partitions the label space of one run across N label shards.
+// The coordinator owns the run's structure — the derivation object and the
+// compressed parse tree (a paths-only core.RunLabeler) — while each shard
+// owns the labels of an interleaved slice of the item-ID space and assigns
+// them with core.RunLabeler.LabelRemote, byte for byte what a single labeler
+// would have assigned.
+//
+// # Ownership
+//
+// Derivation steps are dealt round-robin: shard k (0-based, of n) owns the
+// global steps s with (s-1) % n == k, and with them every data item those
+// steps produce; shard 0 additionally owns the run's initial items (step 0).
+// Shard k's j-th local step is therefore global step k + (j-1)*n + 1, and a
+// shard that has published c local steps has labeled exactly its share of
+// the first k + c*n global steps.
+//
+// # The epoch-vector protocol
+//
+// Each shard publishes its own immutable ShardPrefix through one atomic
+// pointer — the same single-store protocol as a live session, per shard.
+// The coordinator separately publishes the routing table (step count and the
+// cumulative item count after every step) before it dispatches the step to
+// its owner. A reader pins a consistent cut by loading the shard prefixes
+// first and the routing table second: the epoch vector (c_0, ..., c_{n-1})
+// of local step counts determines the largest globally readable prefix
+//
+//	E = min over k of (k + c_k * n)
+//
+// — every step 1..E is labeled and published by its owner — and because the
+// routing table for a step is always published before the step's labels can
+// appear in any shard prefix, the routing load is guaranteed to cover E.
+// Vector is that pinned cut; it resolves any item of the first E steps to
+// its label with two binary searches and no locks.
+//
+// Shard is deliberately narrow — Init, ApplyOwned, Prefix, Close over plain
+// data (core.RemoteItem carries paths, not runs) — so an implementation can
+// later live behind the fvld wire protocol without changing the coordinator.
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+// StepEnvelope is one derivation step as dispatched to its owning shard:
+// the global and shard-local step indices, the step request (for the shard's
+// journal), and the data items the step produced, with their port-owner
+// paths already resolved by the coordinator.
+type StepEnvelope struct {
+	// Global is the 1-based global derivation step index.
+	Global int
+	// Local is the 1-based index of this step among the owner's steps;
+	// shards apply their steps in exactly this order.
+	Local int
+	// Req is the step request, journaled shard-side when the shard is
+	// durable.
+	Req live.StepRequest
+	// Items are the data items the step produced, in item-ID order.
+	Items []core.RemoteItem
+}
+
+// Shard is one label shard. Implementations must label the items of Init
+// and of every ApplyOwned envelope with write-once labels and publish them
+// through Prefix; ApplyOwned calls may arrive out of local order from
+// concurrent producers and must be applied in Local order. After Init,
+// Prefix never returns nil.
+type Shard interface {
+	// Init labels the shard's share of the run's initial items (step 0) and
+	// publishes the shard at local step 0. The coordinator calls it exactly
+	// once, before any ApplyOwned; only shard 0 receives items.
+	Init(items []core.RemoteItem) error
+	// ApplyOwned labels one owned step's items, journals the step when the
+	// shard is durable, and publishes the new local prefix. An error
+	// poisons the shard: the step is never published and every later call
+	// fails.
+	ApplyOwned(env StepEnvelope) error
+	// Prefix returns the shard's latest published prefix (one atomic load).
+	Prefix() *ShardPrefix
+	// Close releases shard resources. The coordinator does not call it;
+	// lifecycle belongs to whoever built the shard.
+	Close() error
+}
+
+// ShardPrefix is an immutable snapshot of one shard at one local step
+// count: the IDs and labels of every item the shard has labeled, in
+// ascending ID order (item IDs grow with global steps, so local application
+// order is ID order). Everything reachable from a ShardPrefix is frozen.
+type ShardPrefix struct {
+	local  int
+	ids    []int
+	labels []*core.DataLabel
+}
+
+// Steps returns the number of local steps the prefix covers.
+func (p *ShardPrefix) Steps() int { return p.local }
+
+// Items returns the number of items the shard has labeled at this prefix.
+func (p *ShardPrefix) Items() int { return len(p.ids) }
+
+// IDs returns the ascending item IDs the shard has labeled. The slice is
+// shared, read-only storage.
+func (p *ShardPrefix) IDs() []int { return p.ids }
+
+// Labels returns the labels of IDs(), index-aligned. The slice is shared,
+// read-only storage.
+func (p *ShardPrefix) Labels() []*core.DataLabel { return p.labels }
+
+// Label returns the label of the item, or false when this shard has not
+// labeled the ID (not owned, or not yet published).
+func (p *ShardPrefix) Label(itemID int) (*core.DataLabel, bool) {
+	i := sort.SearchInts(p.ids, itemID)
+	if i < len(p.ids) && p.ids[i] == itemID {
+		return p.labels[i], true
+	}
+	return nil, false
+}
+
+// Owned returns the number of the first s global steps that shard k of n
+// owns — the local step count a shard drained to global step s must report.
+func Owned(s, k, n int) int {
+	if s <= k {
+		return 0
+	}
+	return (s - k + n - 1) / n
+}
+
+// ownerOf returns the owning shard of a global step (step 0, the initial
+// items, belongs to shard 0).
+func ownerOf(step, n int) int {
+	if step == 0 {
+		return 0
+	}
+	return (step - 1) % n
+}

@@ -1,0 +1,652 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/live"
+	"repro/internal/query"
+	"repro/internal/run"
+	"repro/internal/shard"
+	"repro/internal/view"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// recordSteps derives a random run and returns its step sequence as journal
+// requests, in application order.
+func recordSteps(t *testing.T, spec *workflow.Specification, target int, seed int64) []live.StepRequest {
+	t.Helper()
+	r, err := workloads.RandomRun(spec, workloads.RunOptions{
+		TargetSize: target,
+		Rand:       rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatalf("deriving random run: %v", err)
+	}
+	steps := make([]live.StepRequest, len(r.Steps))
+	for i, st := range r.Steps {
+		steps[i] = live.StepRequest{Instance: st.Instance, Prod: st.Prod}
+	}
+	return steps
+}
+
+// memShards builds n fresh in-process shards.
+func memShards(t *testing.T, scheme *core.Scheme, n int) []shard.Shard {
+	t.Helper()
+	out := make([]shard.Shard, n)
+	for k := range out {
+		m, err := shard.NewMem(scheme, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// TestOwnedArithmetic pins the partitioning identities every other component
+// leans on: the shards' shares of the first s steps always sum to s, and each
+// share grows by exactly one precisely at the owner's steps.
+func TestOwnedArithmetic(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		prev := make([]int, n)
+		for s := 1; s <= 60; s++ {
+			total := 0
+			owner := (s - 1) % n
+			for k := 0; k < n; k++ {
+				got := shard.Owned(s, k, n)
+				total += got
+				want := prev[k]
+				if k == owner {
+					want++
+				}
+				if got != want {
+					t.Fatalf("n=%d s=%d k=%d: Owned=%d, want %d", n, s, k, got, want)
+				}
+				prev[k] = got
+			}
+			if total != s {
+				t.Fatalf("n=%d s=%d: shares sum to %d", n, s, total)
+			}
+		}
+	}
+}
+
+// checkSameLabels byte-compares every label of the pinned cut against an
+// oracle label source covering the same item count.
+func checkSameLabels(t *testing.T, scheme *core.Scheme, pin *shard.Vector, items int, oracle func(int) (*core.DataLabel, bool), what string) {
+	t.Helper()
+	if pin.Items() != items {
+		t.Fatalf("%s: cut has %d items, oracle %d", what, pin.Items(), items)
+	}
+	codec := scheme.Codec()
+	for id := 1; id <= items; id++ {
+		a, ok := pin.Label(id)
+		if !ok {
+			t.Fatalf("%s: item %d unlabeled in the sharded cut", what, id)
+		}
+		b, ok := oracle(id)
+		if !ok {
+			t.Fatalf("%s: item %d unlabeled by the oracle", what, id)
+		}
+		bufA, bitsA := codec.Encode(a)
+		bufB, bitsB := codec.Encode(b)
+		if bitsA != bitsB || !bytes.Equal(bufA, bufB) {
+			t.Fatalf("%s: item %d label differs: sharded %x/%d bits, oracle %x/%d bits",
+				what, id, bufA, bitsA, bufB, bitsB)
+		}
+	}
+	if _, ok := pin.Label(items + 1); ok {
+		t.Fatalf("%s: item beyond the cut resolved", what)
+	}
+}
+
+// checkSharded is the sharded differential invariant: an n-shard coordinator
+// driven through the same step sequence as a classic live session publishes
+// the same epoch, the same item count and byte-identical labels at every
+// prefix, point-query batches answered through the pinned Vector agree with
+// the live prefix, and scatter-gather set queries over the pinned universe
+// agree with the classic single-index path.
+func checkSharded(t *testing.T, scheme *core.Scheme, vName, defName string, labels []*core.ViewLabel, steps []live.StepRequest, n int) {
+	t.Helper()
+	sess, err := live.NewSession(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := shard.New(scheme, memShards(t, scheme, n), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := engine.NewServer(scheme, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, ok := srv.Label(vName)
+	if !ok {
+		t.Fatalf("server does not serve %q", vName)
+	}
+	e := engine.New(2)
+	queryStride := len(steps)/6 + 1
+	rng := rand.New(rand.NewSource(41))
+
+	for k := 0; k <= len(steps); k++ {
+		if k > 0 {
+			liveEpoch, err := sess.Apply(steps[k-1].Instance, steps[k-1].Prod)
+			if err != nil {
+				t.Fatalf("prefix %d: live apply: %v", k, err)
+			}
+			global, err := coord.Apply(steps[k-1].Instance, steps[k-1].Prod)
+			if err != nil {
+				t.Fatalf("prefix %d: sharded apply: %v", k, err)
+			}
+			if global != liveEpoch {
+				t.Fatalf("prefix %d: sharded step %d, live epoch %d", k, global, liveEpoch)
+			}
+		}
+		prefix := sess.Current()
+		pin := coord.Pin()
+		// A single producer dispatches synchronously, so the readable cut
+		// always covers every applied step and each shard sits at exactly
+		// its share.
+		if got, want := pin.Epoch(), uint64(k); got != want {
+			t.Fatalf("prefix %d: pinned epoch %d", k, got)
+		}
+		for j, local := range pin.Locals() {
+			if want := shard.Owned(k, j, n); local != want {
+				t.Fatalf("prefix %d: shard %d at local step %d, want %d", k, j, local, want)
+			}
+		}
+		checkSameLabels(t, scheme, pin, prefix.Items(), prefix.Label, "prefix")
+
+		if k%queryStride != 0 && k != len(steps) {
+			continue
+		}
+
+		// Point queries: the Vector is a LabelSource, so the engine's
+		// session-aware batch path must answer exactly like the live prefix.
+		queries := make([]engine.ItemQuery, 16)
+		for i := range queries {
+			queries[i] = engine.ItemQuery{
+				From: 1 + rng.Intn(prefix.Items()),
+				To:   1 + rng.Intn(prefix.Items()),
+			}
+		}
+		queries = append(queries, engine.ItemQuery{From: prefix.Items() + 1, To: 1})
+		shardRes, err := e.DependsOnItemsBatchContext(t.Context(), vl, pin, queries)
+		if err != nil {
+			t.Fatalf("prefix %d: sharded point batch: %v", k, err)
+		}
+		liveRes, err := e.DependsOnItemsBatchContext(t.Context(), vl, prefix, queries)
+		if err != nil {
+			t.Fatalf("prefix %d: live point batch: %v", k, err)
+		}
+		for qi, q := range queries {
+			a, b := shardRes[qi], liveRes[qi]
+			if (a.Err == nil) != (b.Err == nil) || a.DependsOn != b.DependsOn {
+				t.Fatalf("prefix %d query %v: sharded (%v, %v), live (%v, %v)",
+					k, q, a.DependsOn, a.Err, b.DependsOn, b.Err)
+			}
+			if b.Err != nil && !errors.Is(a.Err, faults.ErrUnknownItem) && !errors.Is(a.Err, faults.ErrHiddenItem) {
+				t.Fatalf("prefix %d query %v: sharded error %v lost its sentinel", k, q, a.Err)
+			}
+		}
+
+		// Set queries: scatter-gather over the pinned universe vs the classic
+		// single index built from the live prefix, same expressions.
+		x := 1 + rng.Intn(prefix.Items())
+		y := 1 + rng.Intn(prefix.Items())
+		exprs := []*query.Expr{
+			query.Deps(x),
+			query.RevDeps(y),
+			query.Explain(x, y, 1+rng.Intn(prefix.Items())),
+			query.Between(vName, defName),
+			query.Union(query.Deps(x), query.RevDeps(x)),
+			query.Intersect(query.Deps(x), query.Deps(y)),
+			query.Project(query.Between(vName, defName), 2),
+			query.Deps(prefix.Items() + 7), // unknown item: per-expression error
+		}
+		idx := core.BuildItemIndex(uint64(k), prefix.Items(), prefix.Label)
+		classic, err := srv.SetQueryBatchContext(t.Context(), vName, idx, exprs)
+		if err != nil {
+			t.Fatalf("prefix %d: classic set batch: %v", k, err)
+		}
+		sharded, err := srv.SetQueryBatchOverContext(t.Context(), vName, pin.Universe(), exprs)
+		if err != nil {
+			t.Fatalf("prefix %d: sharded set batch: %v", k, err)
+		}
+		for i := range exprs {
+			a, b := sharded[i], classic[i]
+			if (a.Err == nil) != (b.Err == nil) {
+				t.Fatalf("prefix %d expr %d: sharded err %v, classic err %v", k, i, a.Err, b.Err)
+			}
+			if b.Err != nil {
+				for _, sentinel := range []error{faults.ErrUnknownItem, faults.ErrHiddenItem} {
+					if errors.Is(b.Err, sentinel) != errors.Is(a.Err, sentinel) {
+						t.Fatalf("prefix %d expr %d: sharded err %v, classic err %v", k, i, a.Err, b.Err)
+					}
+				}
+				continue
+			}
+			if !reflect.DeepEqual(a.Value.ItemIDs(), b.Value.ItemIDs()) ||
+				!reflect.DeepEqual(a.Value.PairList(), b.Value.PairList()) {
+				t.Fatalf("prefix %d expr %d: sharded answer diverges:\n got %v %v\nwant %v %v",
+					k, i, a.Value.ItemIDs(), a.Value.PairList(), b.Value.ItemIDs(), b.Value.PairList())
+			}
+		}
+	}
+}
+
+// shardedFixture builds the scheme, served view labels and step sequence for
+// one differential workload.
+func shardedFixture(t *testing.T, spec *workflow.Specification, basic bool, v *view.View, target int, seed int64) (*core.Scheme, []*core.ViewLabel, []live.StepRequest) {
+	t.Helper()
+	var scheme *core.Scheme
+	var err error
+	if basic {
+		scheme, err = core.NewSchemeBasic(spec)
+	} else {
+		scheme, err = core.NewScheme(spec)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []*core.ViewLabel
+	for _, vw := range []*view.View{view.Default(spec), v} {
+		vl, err := scheme.LabelView(vw, core.VariantDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, vl)
+	}
+	return scheme, labels, recordSteps(t, spec, target, seed)
+}
+
+func TestShardedDifferentialPaperExample(t *testing.T) {
+	spec := workloads.PaperExample()
+	v, err := workloads.PaperSecurityView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, labels, steps := shardedFixture(t, spec, false, v, 110, 7)
+	for _, n := range []int{1, 2, 3, 4} {
+		checkSharded(t, scheme, "security", "default", labels, steps, n)
+	}
+}
+
+func TestShardedDifferentialBioAID(t *testing.T) {
+	spec := workloads.BioAID()
+	v, err := workloads.RandomView(spec, workloads.ViewOptions{
+		Name: "shard-diff", Composites: 8, Mode: workloads.GreyBox, Rand: rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, labels, steps := shardedFixture(t, spec, false, v, 220, 13)
+	for _, n := range []int{2, 3} {
+		checkSharded(t, scheme, "shard-diff", "default", labels, steps, n)
+	}
+}
+
+func TestShardedDifferentialBasicScheme(t *testing.T) {
+	spec := workloads.PaperExample()
+	v, err := workloads.PaperAbstractionView(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, labels, steps := shardedFixture(t, spec, true, v, 80, 21)
+	checkSharded(t, scheme, "abstraction", "default", labels, steps, 3)
+}
+
+// TestApplyOwnedTicketOrdering drives one shard directly with envelopes
+// arriving in reverse local order from separate goroutines: the condition
+// variable must hold each envelope until its predecessor has published, so
+// the shard steps through local order regardless of arrival order.
+func TestApplyOwnedTicketOrdering(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.NewMem(scheme, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(nil); err != nil {
+		t.Fatal(err)
+	}
+	const locals = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, locals)
+	// Launch highest local first so most envelopes block on their ticket.
+	for l := locals; l >= 1; l-- {
+		wg.Add(1)
+		go func(local int) {
+			defer wg.Done()
+			env := shard.StepEnvelope{Global: local, Local: local}
+			if err := m.ApplyOwned(env); err != nil {
+				errs <- err
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("out-of-order apply: %v", err)
+	}
+	if got := m.Prefix().Steps(); got != locals {
+		t.Fatalf("shard at local step %d, want %d", got, locals)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("shard poisoned: %v", err)
+	}
+}
+
+// TestFeedSingleDrain replays one recorded run through a single Feed drain:
+// the script order is preserved, so the final cut must be byte-identical to
+// a classic live session over the same steps.
+func TestFeedSingleDrain(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := recordSteps(t, spec, 90, 3)
+	oracle, err := live.NewSession(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range steps {
+		if _, err := oracle.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coord, err := shard.New(scheme, memShards(t, scheme, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make(chan live.StepRequest)
+	done := make(chan error, 1)
+	go func() { done <- coord.Feed(t.Context(), reqs) }()
+	for _, req := range steps {
+		reqs <- req
+	}
+	close(reqs)
+	if err := <-done; err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	pin := coord.Pin()
+	if got, want := pin.Epoch(), uint64(len(steps)); got != want {
+		t.Fatalf("fed coordinator readable at %d of %d steps", got, want)
+	}
+	final := oracle.Current()
+	checkSameLabels(t, scheme, pin, final.Items(), final.Label, "fed")
+}
+
+// TestFeedFanOut pushes one recorded script through four concurrent Feed
+// drains of a shared channel. Concurrent drains can overtake each other
+// between receive and apply, so a step may legitimately be rejected when its
+// predecessor has not landed yet — a drain dying on such a rejection is
+// tolerated, a poisoned coordinator is not — and the final cut is checked
+// against batch labeling of whatever run the coordinator actually built.
+func TestFeedFanOut(t *testing.T) {
+	spec := workloads.PaperExample()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := recordSteps(t, spec, 90, 3)
+	coord, err := shard.New(scheme, memShards(t, scheme, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make(chan live.StepRequest)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := coord.Feed(t.Context(), reqs); err != nil {
+				if perr := coord.Err(); perr != nil {
+					t.Errorf("feed: coordinator poisoned: %v", perr)
+				}
+			}
+		}()
+	}
+	// Every drain may die on a lost ordering race; stop sending when none is
+	// left to receive.
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	for _, req := range steps {
+		select {
+		case reqs <- req:
+		case <-drained:
+		}
+	}
+	close(reqs)
+	<-drained
+	if err := coord.Err(); err != nil {
+		t.Fatalf("coordinator poisoned: %v", err)
+	}
+
+	pin := coord.Pin()
+	var batch *core.RunLabeler
+	var items int
+	if err := coord.Exclusive(func(r *run.Run, _ *core.RunLabeler) error {
+		if got, want := pin.Epoch(), uint64(len(r.Steps)); got != want {
+			t.Fatalf("fed coordinator readable at %d of %d steps", got, want)
+		}
+		items = len(r.Items)
+		var err error
+		batch, err = scheme.LabelRun(r)
+		return err
+	}); err != nil {
+		t.Fatalf("batch labeling the fed run: %v", err)
+	}
+	checkSameLabels(t, scheme, pin, items, batch.Label, "fed")
+}
+
+// TestConcurrentProducersAndReaders races real producers (expanding whatever
+// the frontier offers, losing races gracefully) against readers pinning
+// epoch vectors, under the race detector: epochs must be monotone per
+// reader, every item inside a cut must resolve, items beyond it must not,
+// and the final cut must match the batch labeler on the coordinator's own
+// run.
+func TestConcurrentProducersAndReaders(t *testing.T) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := shard.New(scheme, memShards(t, scheme, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const targetSteps = 150
+	var applied atomic.Int64
+	stop := make(chan struct{})
+	var readers, producers sync.WaitGroup
+
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pin := coord.Pin()
+				if pin.Epoch() < lastEpoch {
+					t.Errorf("reader: epoch went backwards: %d after %d", pin.Epoch(), lastEpoch)
+					return
+				}
+				lastEpoch = pin.Epoch()
+				if pin.Items() > 0 {
+					if _, ok := pin.Label(pin.Items()); !ok {
+						t.Errorf("reader: last item %d of the cut unresolved", pin.Items())
+						return
+					}
+				}
+				if _, ok := pin.Label(pin.Items() + 1); ok {
+					t.Errorf("reader: item beyond the cut resolved at epoch %d", pin.Epoch())
+					return
+				}
+			}
+		}()
+	}
+
+	for p := 0; p < 4; p++ {
+		producers.Add(1)
+		go func(seed int64) {
+			defer producers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for applied.Load() < targetSteps {
+				frontier := coord.Frontier()
+				if len(frontier) == 0 {
+					return
+				}
+				inst := frontier[rng.Intn(len(frontier))]
+				prods := coord.Expandable(inst)
+				if len(prods) == 0 {
+					continue
+				}
+				if _, err := coord.Apply(inst, prods[rng.Intn(len(prods))]); err != nil {
+					// Losing the race for an instance is expected; anything
+					// that poisoned the coordinator is not.
+					if perr := coord.Err(); perr != nil {
+						t.Errorf("producer: coordinator poisoned: %v", perr)
+						return
+					}
+					continue
+				}
+				applied.Add(1)
+			}
+		}(int64(100 + p))
+	}
+
+	producers.Wait()
+	close(stop)
+	readers.Wait()
+	if err := coord.Err(); err != nil {
+		t.Fatalf("coordinator poisoned: %v", err)
+	}
+
+	// With every producer joined every dispatched step has published, so the
+	// final cut covers the whole run; its labels must be byte-identical to
+	// the batch labeler over the coordinator's own structural state.
+	pin := coord.Pin()
+	var batch *core.RunLabeler
+	var items int
+	if err := coord.Exclusive(func(r *run.Run, _ *core.RunLabeler) error {
+		if got, want := pin.Epoch(), uint64(len(r.Steps)); got != want {
+			t.Fatalf("final cut readable at %d of %d steps", got, want)
+		}
+		items = len(r.Items)
+		var err error
+		batch, err = scheme.LabelRun(r)
+		return err
+	}); err != nil {
+		t.Fatalf("batch labeling the final run: %v", err)
+	}
+	checkSameLabels(t, scheme, pin, items, batch.Label, "final")
+}
+
+// TestRestoreRoundTrip rebuilds a coordinator from persisted-shaped state —
+// the run, the frontier paths, and each shard's (local, ids, labels) triple
+// — then extends both the original and the restored session by the same
+// tail and requires byte-identical cuts throughout.
+func TestRestoreRoundTrip(t *testing.T) {
+	spec := workloads.BioAID()
+	scheme, err := core.NewScheme(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := recordSteps(t, spec, 160, 5)
+	cut := len(steps) * 2 / 3
+	const n = 3
+
+	mems := make([]*shard.MemShard, n)
+	shards := make([]shard.Shard, n)
+	for k := range mems {
+		m, err := shard.NewMem(scheme, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mems[k], shards[k] = m, m
+	}
+	coord, err := shard.New(scheme, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range steps[:cut] {
+		if _, err := coord.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Persist-shaped state: replay the structural half into a fresh run,
+	// capture the frontier paths, and snapshot each shard's prefix.
+	r2 := run.New(spec)
+	paths := scheme.NewPathTracker()
+	if err := paths.OnInit(r2); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range steps[:cut] {
+		st, err := r2.Apply(req.Instance, req.Prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := paths.OnStep(r2, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frontier, err := paths.FrontierPaths(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredPaths, err := scheme.RestorePathTracker(frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredShards := make([]shard.Shard, n)
+	for k := 0; k < n; k++ {
+		prefix := mems[k].Prefix()
+		m, err := shard.RestoreMem(scheme, prefix.Steps(), prefix.IDs(), prefix.Labels(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restoredShards[k] = m
+	}
+	restored, err := shard.Restore(scheme, restoredShards, r2, restoredPaths, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both sessions replay the tail; every subsequent cut must agree.
+	for i := cut; i < len(steps); i++ {
+		req := steps[i]
+		if _, err := coord.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatalf("original tail step %d: %v", i+1, err)
+		}
+		if _, err := restored.Apply(req.Instance, req.Prod); err != nil {
+			t.Fatalf("restored tail step %d: %v", i+1, err)
+		}
+		a, b := coord.Pin(), restored.Pin()
+		if a.Epoch() != b.Epoch() || a.Items() != b.Items() {
+			t.Fatalf("tail step %d: original at %d/%d, restored at %d/%d",
+				i+1, a.Epoch(), a.Items(), b.Epoch(), b.Items())
+		}
+		checkSameLabels(t, scheme, b, a.Items(), a.Label, "restored")
+	}
+}

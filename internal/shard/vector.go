@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Vector is one pinned epoch vector: an immutable, consistent cut of a
+// sharded session. It captures each shard's published prefix plus the
+// routing table, and exposes the largest globally readable prefix E — every
+// derivation step 1..E is labeled and published by its owner. A Vector
+// resolves item IDs to labels lock-free (it implements engine.LabelSource),
+// so a whole query batch can run against exactly one cut while producers
+// keep appending.
+type Vector struct {
+	n        int
+	prefixes []*ShardPrefix
+	rt       *routing
+	epoch    int // E, the readable step prefix
+	items    int // labeled items at E (rt.itemsAt[epoch])
+}
+
+// Epoch returns E, the number of derivation steps the cut covers.
+func (v *Vector) Epoch() uint64 { return uint64(v.epoch) }
+
+// Items returns the number of labeled data items at the cut.
+func (v *Vector) Items() int { return v.items }
+
+// Shards returns the shard count n.
+func (v *Vector) Shards() int { return v.n }
+
+// Locals returns the epoch vector itself: the published local step count of
+// every shard at pin time (component k may exceed its share of E — that is
+// exactly why E is the minimum).
+func (v *Vector) Locals() []int {
+	out := make([]int, v.n)
+	for k, p := range v.prefixes {
+		out[k] = p.Steps()
+	}
+	return out
+}
+
+// Label resolves a data item of the readable prefix to its label: binary
+// search the routing table for the producing step, map the step to its
+// owning shard, binary search the shard's prefix for the item. Items beyond
+// the cut (or invalid IDs) report false.
+func (v *Vector) Label(itemID int) (*core.DataLabel, bool) {
+	if itemID < 1 || itemID > v.items {
+		return nil, false
+	}
+	// The producing step is the smallest s with itemsAt[s] >= itemID.
+	s := sort.SearchInts(v.rt.itemsAt[:v.epoch+1], itemID)
+	return v.prefixes[ownerOf(s, v.n)].Label(itemID)
+}
+
+// Universe materializes the cut as a partitioned query universe: one
+// core.ItemIndex per shard, every index built over the same 1..Items() ID
+// space with holes where another shard owns the ID. The indexes satisfy the
+// contract of query.Universe's Parts, so set queries scatter across them
+// and gather by OR (see query.ExecuteOver). Building walks each shard's
+// pinned ids once (a monotone cursor per part); the fvl session caches the
+// result per epoch.
+func (v *Vector) Universe() *PinnedUniverse {
+	parts := make([]*core.ItemIndex, v.n)
+	for k, p := range v.prefixes {
+		ids, labels := p.IDs(), p.Labels()
+		cur := 0
+		parts[k] = core.BuildItemIndex(uint64(v.epoch), v.items, func(id int) (*core.DataLabel, bool) {
+			for cur < len(ids) && ids[cur] < id {
+				cur++
+			}
+			if cur < len(ids) && ids[cur] == id {
+				return labels[cur], true
+			}
+			return nil, false
+		})
+	}
+	return &PinnedUniverse{vec: v, parts: parts}
+}
+
+// PinnedUniverse is a Vector materialized for set queries; it satisfies
+// query.Universe (structurally — this package does not import the query
+// layer). It is immutable and safe for any number of concurrent readers.
+type PinnedUniverse struct {
+	vec   *Vector
+	parts []*core.ItemIndex
+}
+
+// Items returns the size of the pinned item-ID universe.
+func (u *PinnedUniverse) Items() int { return u.vec.items }
+
+// Parts returns the per-shard item indexes, all built over the same
+// 1..Items() universe. The slice is shared, read-only storage.
+func (u *PinnedUniverse) Parts() []*core.ItemIndex { return u.parts }
+
+// Label resolves an item ID to its label wherever it lives; see
+// Vector.Label.
+func (u *PinnedUniverse) Label(itemID int) (*core.DataLabel, bool) {
+	return u.vec.Label(itemID)
+}
+
+// Vector returns the pinned cut the universe was built from.
+func (u *PinnedUniverse) Vector() *Vector { return u.vec }
